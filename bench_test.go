@@ -1,0 +1,215 @@
+// Package repro's top-level benchmarks regenerate every table and figure
+// of the paper's evaluation at reduced scale (the paper measured
+// 100M-instruction regions on SPEC2000; these use the workloads' suggested
+// regions scaled down so `go test -bench=.` completes in minutes). Run
+// `go run ./cmd/experiments` for the full-scale tables.
+//
+// Benchmark naming maps directly to the paper:
+//
+//	BenchmarkTable2    — problem-instruction coverage (§2.2)
+//	BenchmarkFigure1   — baseline / problem-perfect / all-perfect IPC (§2.3)
+//	BenchmarkTable3    — slice characterization (§3.2)
+//	BenchmarkFigure11  — slice vs constrained-limit speedups (§6)
+//	BenchmarkTable4    — detailed slice-execution statistics (§6.1)
+//	BenchmarkWorkload* — per-workload base vs slice IPC (the headline)
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/harness"
+	"repro/internal/workloads"
+)
+
+var benchParams = harness.Params{Scale: 0.25}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := harness.Table2(workloads.All(), benchParams)
+		if len(rows) != 12 {
+			b.Fatal("missing rows")
+		}
+		if i == 0 {
+			reportCoverage(b, rows)
+		}
+	}
+}
+
+func reportCoverage(b *testing.B, rows []harness.Table2Row) {
+	var br, mem float64
+	for _, r := range rows {
+		br += r.BrMis
+		mem += r.MisPct
+	}
+	b.ReportMetric(br/float64(len(rows)), "avg_mispred_coverage_%")
+	b.ReportMetric(mem/float64(len(rows)), "avg_miss_coverage_%")
+}
+
+func BenchmarkFigure1(b *testing.B) {
+	// The full 12×2×3 sweep is heavy; a representative subset keeps the
+	// bench affordable while preserving the figure's shape.
+	ws := pick(b, "vpr", "mcf", "eon", "gzip")
+	for i := 0; i < b.N; i++ {
+		rows := harness.Figure1(ws, benchParams)
+		if i == 0 {
+			var gain float64
+			for _, r := range rows {
+				gain += r.ProbPerf[0] / r.Base[0]
+			}
+			b.ReportMetric((gain/float64(len(rows))-1)*100, "avg_prob_perfect_gain_%")
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := harness.Table3(workloads.All())
+		if len(rows) == 0 {
+			b.Fatal("no slices")
+		}
+	}
+}
+
+func BenchmarkFigure11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := harness.Figure11(workloads.All(), benchParams)
+		if i == 0 {
+			var maxSpeedup float64
+			for _, r := range rows {
+				if r.SliceSpeedup > maxSpeedup {
+					maxSpeedup = r.SliceSpeedup
+				}
+			}
+			b.ReportMetric(maxSpeedup, "max_slice_speedup_%")
+		}
+	}
+}
+
+func BenchmarkTable4(b *testing.B) {
+	ws := pick(b, "vpr", "eon", "gzip", "mcf", "twolf", "gap")
+	for i := 0; i < b.N; i++ {
+		cols := harness.Table4(ws, benchParams)
+		if i == 0 {
+			var frac float64
+			for _, c := range cols {
+				frac += c.FracFromLoads
+			}
+			b.ReportMetric(frac/float64(len(cols))*100, "avg_speedup_from_loads_%")
+		}
+	}
+}
+
+// Per-workload benches: simulated instructions per second and the base vs
+// slice IPC pair for the headline comparison.
+func BenchmarkWorkload(b *testing.B) {
+	for _, w := range workloads.All() {
+		w := w
+		for _, slices := range []bool{false, true} {
+			name := fmt.Sprintf("%s/slices=%v", w.Name, slices)
+			b.Run(name, func(b *testing.B) {
+				const region = 60_000
+				for i := 0; i < b.N; i++ {
+					var core *cpu.Core
+					if slices {
+						core = cpu.MustNew(cpu.Config4Wide(), w.Image, w.NewMemory(), w.Entry, w.SliceTable())
+					} else {
+						core = cpu.MustNew(cpu.Config4Wide(), w.Image, w.NewMemory(), w.Entry, nil)
+					}
+					core.Run(20_000)
+					core.ResetStats()
+					s := core.Run(region)
+					if i == 0 {
+						b.ReportMetric(s.IPC(), "IPC")
+					}
+				}
+				b.SetBytes(region)
+			})
+		}
+	}
+}
+
+// BenchmarkAblationQueueDepth sweeps the correlator's per-branch capacity —
+// the design choice DESIGN.md calls out (Figure 10 shows 8; we default to
+// 16 so a hoisted slice can hold a full iteration's predictions).
+func BenchmarkAblationQueueDepth(b *testing.B) {
+	w := pickOne(b, "gzip")
+	for _, depth := range []int{4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := cpu.Config4Wide()
+				cfg.PredQueueDepth = depth
+				core := cpu.MustNew(cfg, w.Image, w.NewMemory(), w.Entry, w.SliceTable())
+				core.Run(30_000)
+				core.ResetStats()
+				s := core.Run(60_000)
+				if i == 0 {
+					b.ReportMetric(s.IPC(), "IPC")
+					b.ReportMetric(float64(s.Mispredicts), "mispredicts")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationThreadContexts sweeps idle helper contexts (the paper:
+// "most programs benefit from having more than one idle thread").
+func BenchmarkAblationThreadContexts(b *testing.B) {
+	w := pickOne(b, "vpr")
+	for _, n := range []int{2, 3, 4, 6} {
+		b.Run(fmt.Sprintf("contexts=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := cpu.Config4Wide()
+				cfg.ThreadContexts = n
+				core := cpu.MustNew(cfg, w.Image, w.NewMemory(), w.Entry, w.SliceTable())
+				core.Run(30_000)
+				core.ResetStats()
+				s := core.Run(60_000)
+				if i == 0 {
+					b.ReportMetric(s.IPC(), "IPC")
+					b.ReportMetric(float64(s.ForksIgnored), "forks_ignored")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPredictionsOff isolates prefetching from prediction
+// (Table 4's "fraction of speedup from loads").
+func BenchmarkAblationPredictionsOff(b *testing.B) {
+	w := pickOne(b, "twolf")
+	for _, predsOff := range []bool{false, true} {
+		b.Run(fmt.Sprintf("predsOff=%v", predsOff), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := cpu.Config4Wide()
+				cfg.SlicePredictionsOff = predsOff
+				core := cpu.MustNew(cfg, w.Image, w.NewMemory(), w.Entry, w.SliceTable())
+				core.Run(30_000)
+				core.ResetStats()
+				s := core.Run(60_000)
+				if i == 0 {
+					b.ReportMetric(s.IPC(), "IPC")
+				}
+			}
+		})
+	}
+}
+
+func pick(b *testing.B, names ...string) []*workloads.Workload {
+	b.Helper()
+	var ws []*workloads.Workload
+	for _, n := range names {
+		ws = append(ws, pickOne(b, n))
+	}
+	return ws
+}
+
+func pickOne(b *testing.B, name string) *workloads.Workload {
+	b.Helper()
+	w, err := workloads.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}

@@ -1,0 +1,142 @@
+// Command autoslice runs the automatic slice construction pipeline of
+// §3.3 end to end: profile a workload's problem instructions on the
+// baseline machine, pick a fork point from an execution trace, extract the
+// backward dataflow slice, emit an executable speculative slice, and
+// compare baseline vs auto-slice-assisted execution.
+//
+//	autoslice -workload crafty
+//	autoslice -workload eon -lead 30,90 -print
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/autoslice"
+	"repro/internal/cpu"
+	"repro/internal/isa"
+	"repro/internal/profile"
+	"repro/internal/slicehw"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		name   = flag.String("workload", "crafty", "workload to slice")
+		trace  = flag.Int("trace", 80_000, "trace length for construction")
+		lead   = flag.String("lead", "25,90", "min,max fork lead (dynamic instructions)")
+		print  = flag.Bool("print", false, "print the generated slice code")
+		region = flag.Uint64("run", 0, "measured instructions (default: workload suggestion)")
+	)
+	flag.Parse()
+
+	w, err := workloads.ByName(*name)
+	if err != nil {
+		fail(err)
+	}
+	minLead, maxLead := parseLead(*lead)
+
+	// 1. Profile: find the problem instructions (§2.2).
+	core := cpu.MustNew(cpu.Config4Wide(), w.Image, w.NewMemory(), w.Entry, nil)
+	core.Run(w.SuggestedWarmup)
+	core.ResetStats()
+	runLen := w.SuggestedRun
+	if *region > 0 {
+		runLen = *region
+	}
+	s := core.Run(runLen)
+	prof := profile.Characterize(s, profile.DefaultOptions(runLen))
+
+	// Auto-PGIs need zero-testing branches; everything else is prefetch.
+	var branchPCs, problemPCs []uint64
+	for pc := range prof.BranchPCs {
+		if in, ok := w.Image.At(pc); ok && (in.Op == isa.BEQ || in.Op == isa.BNE) {
+			branchPCs = append(branchPCs, pc)
+		}
+	}
+	for pc := range prof.LoadPCs {
+		problemPCs = append(problemPCs, pc)
+	}
+	problemPCs = append(problemPCs, branchPCs...)
+	sort.Slice(problemPCs, func(i, j int) bool { return problemPCs[i] < problemPCs[j] })
+	if len(problemPCs) == 0 {
+		fail(fmt.Errorf("no sliceable problem instructions found in %s", w.Name))
+	}
+	fmt.Printf("profiled %d problem PCs (%d zero-testing branches)\n", len(problemPCs), len(branchPCs))
+
+	// 2. Trace and pick a fork point.
+	tr, err := autoslice.CollectTrace(w.Image, w.NewMemory(), w.Entry, *trace)
+	if err != nil {
+		fail(err)
+	}
+	cands := autoslice.SelectForkPoint(tr, problemPCs, minLead, maxLead)
+	if len(cands) == 0 {
+		fail(fmt.Errorf("no fork candidates"))
+	}
+	fork := cands[0]
+	fmt.Printf("fork point %#x (coverage %.0f%%, mean lead %.0f instructions)\n",
+		fork.PC, fork.Coverage*100, fork.MeanLead)
+
+	// 3. Extract and emit the slice.
+	built, err := autoslice.Build(tr, fork.PC, problemPCs, autoslice.DefaultOptions())
+	if err != nil {
+		fail(err)
+	}
+	sl := built.Slice
+	fmt.Printf("slice: %d instructions, live-ins %v, %d PGIs, %d prefetch loads\n",
+		sl.StaticSize, sl.LiveIns, len(sl.PGIs), len(sl.CoveredLoadPCs))
+	if *print {
+		fmt.Println()
+		fmt.Print(built.Program.Disasm())
+	}
+
+	// 4. Compare baseline vs auto-slice-assisted execution.
+	im, err := asm.NewImage(w.Image.Programs()[0], built.Program)
+	if err != nil {
+		fail(err)
+	}
+	run := func(table *slicehw.Table) *cpu.Core {
+		c := cpu.MustNew(cpu.Config4Wide(), im, w.NewMemory(), w.Entry, table)
+		c.Run(w.SuggestedWarmup)
+		c.ResetStats()
+		c.Run(runLen)
+		return c
+	}
+	base := run(nil)
+	auto := run(slicehw.MustTable([]*slicehw.Slice{sl}))
+
+	fmt.Printf("\nbaseline:   IPC %.3f, %d mispredictions, %d load misses\n",
+		base.S.IPC(), base.S.Mispredicts, base.S.LoadMisses)
+	fmt.Printf("auto slice: IPC %.3f, %d mispredictions, %d load misses\n",
+		auto.S.IPC(), auto.S.Mispredicts, auto.S.LoadMisses)
+	acc := 0.0
+	if n := auto.S.PredsCorrect + auto.S.PredsIncorrect; n > 0 {
+		acc = float64(auto.S.PredsCorrect) / float64(n) * 100
+	}
+	fmt.Printf("speedup %.1f%%; %d overrides at %.1f%% accuracy; %d early resolutions\n",
+		(float64(base.S.Cycles)/float64(auto.S.Cycles)-1)*100,
+		auto.S.PredsUsed, acc, auto.S.EarlyResolutions)
+}
+
+func parseLead(s string) (int, int) {
+	parts := strings.SplitN(s, ",", 2)
+	if len(parts) != 2 {
+		fail(fmt.Errorf("bad -lead %q", s))
+	}
+	lo, err1 := strconv.Atoi(parts[0])
+	hi, err2 := strconv.Atoi(parts[1])
+	if err1 != nil || err2 != nil || lo <= 0 || hi <= lo {
+		fail(fmt.Errorf("bad -lead %q", s))
+	}
+	return lo, hi
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,76 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation:
+//
+//	experiments -exp table1     machine parameters
+//	experiments -exp table2     problem-instruction coverage
+//	experiments -exp figure1    baseline / problem-perfect / all-perfect IPC
+//	experiments -exp table3     slice characterization
+//	experiments -exp figure11   slice vs constrained-limit speedups
+//	experiments -exp table4     detailed slice-execution statistics
+//	experiments -exp all        everything above
+//
+// -scale shrinks the measured regions for quick runs (1.0 ≈ a few hundred
+// thousand instructions per run; the paper used 100M-instruction regions).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "table1|table2|figure1|table3|figure11|table4|all")
+		scale = flag.Float64("scale", 1.0, "region scale factor")
+		only  = flag.String("workload", "", "restrict to one workload")
+	)
+	flag.Parse()
+
+	ws := workloads.All()
+	if *only != "" {
+		w, err := workloads.ByName(*only)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		ws = []*workloads.Workload{w}
+	}
+	p := harness.Params{Scale: *scale}
+
+	runExp := func(name string, f func()) {
+		start := time.Now()
+		f()
+		fmt.Printf("(%s finished in %s)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	all := *exp == "all"
+	if all || *exp == "table1" {
+		runExp("table1", func() { fmt.Print(harness.FormatTable1()) })
+	}
+	if all || *exp == "table2" {
+		runExp("table2", func() { fmt.Print(harness.FormatTable2(harness.Table2(ws, p))) })
+	}
+	if all || *exp == "figure1" {
+		runExp("figure1", func() { fmt.Print(harness.FormatFigure1(harness.Figure1(ws, p))) })
+	}
+	if all || *exp == "table3" {
+		runExp("table3", func() { fmt.Print(harness.FormatTable3(harness.Table3(ws))) })
+	}
+	if all || *exp == "figure11" {
+		runExp("figure11", func() { fmt.Print(harness.FormatFigure11(harness.Figure11(ws, p))) })
+	}
+	if all || *exp == "table4" {
+		runExp("table4", func() { fmt.Print(harness.FormatTable4(harness.Table4(ws, p))) })
+	}
+	switch *exp {
+	case "all", "table1", "table2", "figure1", "table3", "figure11", "table4":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(1)
+	}
+}

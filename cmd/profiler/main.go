@@ -1,0 +1,63 @@
+// Command profiler characterizes problem instructions (§2.2): it runs a
+// baseline region of one or all workloads, attributes cache misses and
+// branch mispredictions to static instructions, and reports the small set
+// that accounts for a disproportionate share of PDEs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cpu"
+	"repro/internal/profile"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		name = flag.String("workload", "", "workload name (default: all)")
+		top  = flag.Int("top", 10, "top-N PDE contributors to print per workload")
+		runN = flag.Uint64("run", 0, "measured instructions (default: workload suggestion)")
+	)
+	flag.Parse()
+
+	var ws []*workloads.Workload
+	if *name == "" {
+		ws = workloads.All()
+	} else {
+		w, err := workloads.ByName(*name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		ws = []*workloads.Workload{w}
+	}
+
+	for _, w := range ws {
+		region := w.SuggestedRun
+		if *runN > 0 {
+			region = *runN
+		}
+		core := cpu.MustNew(cpu.Config4Wide(), w.Image, w.NewMemory(), w.Entry, nil)
+		core.Run(w.SuggestedWarmup)
+		core.ResetStats()
+		s := core.Run(region)
+		r := profile.Characterize(s, profile.DefaultOptions(region))
+
+		fmt.Printf("%s: %d problem loads (%.0f%% of mem ops, %.0f%% of misses); "+
+			"%d problem branches (%.0f%% of branches, %.0f%% of mispredictions)\n",
+			w.Name, r.MemSI, r.MemFrac*100, r.MissCoverage*100,
+			r.BrSI, r.BrFrac*100, r.MispredCoverage*100)
+		for _, st := range profile.TopOffenders(s, *top) {
+			kind := "load  "
+			rate := st.MissRate()
+			if st.IsBranch {
+				kind = "branch"
+				rate = st.MispredictRate()
+			}
+			fmt.Printf("  %#08x %s execs=%-8d PDEs=%-6d rate=%.1f%%\n",
+				st.PC, kind, st.Execs, st.Misses+st.Mispredicts, rate*100)
+		}
+	}
+}

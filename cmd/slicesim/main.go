@@ -1,0 +1,133 @@
+// Command slicesim runs one workload on the simulated SMT machine, with or
+// without its speculative slices, and reports the run's statistics.
+//
+// Usage:
+//
+//	slicesim -workload vpr -slices -run 400000
+//	slicesim -workload mcf -wide8
+//	slicesim -workload gzip -disasm          # print program + slice code
+//	slicesim -workload eon -slices -trace    # stream correlator events
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cpu"
+	"repro/internal/profile"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		name    = flag.String("workload", "vpr", "workload name (see -list)")
+		list    = flag.Bool("list", false, "list workloads and exit")
+		slices  = flag.Bool("slices", false, "enable the speculative slice hardware")
+		wide8   = flag.Bool("wide8", false, "use the 8-wide machine (default 4-wide)")
+		warmup  = flag.Uint64("warmup", 0, "warm-up instructions (default: workload suggestion)")
+		run     = flag.Uint64("run", 0, "measured instructions (default: workload suggestion)")
+		disasm  = flag.Bool("disasm", false, "print the program and slice code, then exit")
+		trace   = flag.Bool("trace", false, "stream correlator events (implies -slices)")
+		top     = flag.Int("top", 0, "print the N static instructions with the most PDEs")
+		perfect = flag.Bool("perfect", false, "perfect branch prediction and caches (limit study)")
+		asJSON  = flag.Bool("json", false, "emit the run's statistics as JSON")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, w := range workloads.All() {
+			fmt.Printf("%-8s %s\n", w.Name, w.Description)
+		}
+		return
+	}
+
+	w, err := workloads.ByName(*name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *disasm {
+		for _, p := range w.Image.Programs() {
+			fmt.Print(p.Disasm())
+			fmt.Println()
+		}
+		return
+	}
+
+	cfg := cpu.Config4Wide()
+	if *wide8 {
+		cfg = cpu.Config8Wide()
+	}
+	if *perfect {
+		cfg.Perfect = cpu.Perfect{AllBranches: true, AllLoads: true}
+	}
+	warm, region := w.SuggestedWarmup, w.SuggestedRun
+	if *warmup > 0 {
+		warm = *warmup
+	}
+	if *run > 0 {
+		region = *run
+	}
+	useSlices := *slices || *trace
+
+	var core *cpu.Core
+	if useSlices {
+		core = cpu.MustNew(cfg, w.Image, w.NewMemory(), w.Entry, w.SliceTable())
+	} else {
+		core = cpu.MustNew(cfg, w.Image, w.NewMemory(), w.Entry, nil)
+	}
+	core.Run(warm)
+	core.ResetStats()
+	if *trace {
+		core.Correlator().Trace = func(ev string, args ...any) {
+			fmt.Printf("cyc=%-10d %-14s %v\n", core.Now(), ev, args)
+		}
+	}
+	s := core.Run(region)
+
+	if *asJSON {
+		out := map[string]any{
+			"workload": w.Name,
+			"machine":  cfg.Name,
+			"slices":   useSlices,
+			"stats":    s,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("workload   %s (%s, slices=%v)\n", w.Name, cfg.Name, useSlices)
+	fmt.Printf("retired    %d instructions in %d cycles (IPC %.3f)\n", s.MainRetired, s.Cycles, s.IPC())
+	fmt.Printf("branches   %d (%d mispredicted, %.2f%%)\n", s.Branches, s.Mispredicts, s.MispredictRate()*100)
+	fmt.Printf("loads      %d (%d missed, %.2f%%)\n", s.Loads, s.LoadMisses, s.LoadMissRate()*100)
+	fmt.Printf("fetched    %d main (%d wrong path), %d helper\n", s.MainFetched, s.MainWrongPath, s.HelperFetched)
+	if useSlices {
+		fmt.Printf("forks      %d taken, %d squashed, %d ignored\n", s.Forks, s.ForksSquashed, s.ForksIgnored)
+		acc := 0.0
+		if n := s.PredsCorrect + s.PredsIncorrect; n > 0 {
+			acc = float64(s.PredsCorrect) / float64(n) * 100
+		}
+		fmt.Printf("preds      %d overrides (%.1f%% correct), %d late, %d early resolutions\n",
+			s.PredsUsed, acc, s.PredsLateUsed, s.EarlyResolutions)
+		fmt.Printf("prefetch   %d slice prefetches, %d main misses covered\n", s.SlicePrefetches, s.MissesCovered)
+	}
+	if *top > 0 {
+		fmt.Printf("\ntop %d PDE contributors:\n", *top)
+		for _, st := range profile.TopOffenders(s, *top) {
+			kind := "load"
+			if st.IsBranch {
+				kind = "branch"
+			}
+			fmt.Printf("  %#08x %-6s execs=%-8d misses=%-6d mispredicts=%-6d\n",
+				st.PC, kind, st.Execs, st.Misses, st.Mispredicts)
+		}
+	}
+}

@@ -1,0 +1,505 @@
+// Package autoslice implements automatic slice construction (§3.3). The
+// paper's slices were built by hand as a proof of concept; it cites Roth &
+// Sohi's trace-based selection of un-optimized slices as the automated
+// route and calls automated optimization "important future work". This
+// package provides that pipeline:
+//
+//  1. collect an execution trace with per-instruction register dataflow;
+//  2. pick a fork point for a set of problem PCs — a PC that precedes
+//     their dynamic instances at a useful, consistent distance (§3.2's
+//     "sweet spot" search, done mechanically);
+//  3. compute the backward dataflow slice of each problem instance within
+//     the fork-to-problem window and union the marked instructions;
+//  4. emit an executable, straight-line (unrolled) slice program: stores
+//     dropped, control flow dropped (the problem branch's compare becomes
+//     the PGI), live-ins derived from reads-before-writes.
+//
+// The result is an un-optimized speculative slice in exactly Roth & Sohi's
+// sense: correct most of the time, bounded, and purely microarchitectural.
+package autoslice
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/slicehw"
+)
+
+// traceEntry is one dynamic instruction with its dataflow edges.
+type traceEntry struct {
+	pc uint64
+	in *isa.Inst
+	// src[i] is the trace index of the producer of the i-th source
+	// register, or -1 if it was live before the trace began.
+	src  [3]int32
+	nsrc int
+}
+
+// Trace is a recorded execution with register-dependence edges.
+type Trace struct {
+	entries []traceEntry
+	// byPC indexes dynamic instances of each static instruction.
+	byPC map[uint64][]int32
+}
+
+// CollectTrace functionally executes the image for n instructions from
+// entry, recording the register dataflow. The memory is mutated (pass a
+// fresh one).
+func CollectTrace(image *asm.Image, m *mem.Memory, entry uint64, n int) (*Trace, error) {
+	tr := &Trace{byPC: make(map[uint64][]int32)}
+	var regs [isa.NumRegs]uint64
+	lastWrite := [isa.NumRegs]int32{}
+	for i := range lastWrite {
+		lastWrite[i] = -1
+	}
+	st := traceState{regs: &regs, m: m}
+	pc := entry
+	for len(tr.entries) < n {
+		in, ok := image.At(pc)
+		if !ok {
+			return nil, fmt.Errorf("autoslice: trace fell off the image at %#x", pc)
+		}
+		e := traceEntry{pc: pc, in: in}
+		for _, r := range in.Sources() {
+			e.src[e.nsrc] = lastWrite[r]
+			e.nsrc++
+		}
+		idx := int32(len(tr.entries))
+		out := isa.Execute(in, pc, st)
+		if d, ok := in.Dest(); ok {
+			lastWrite[d] = idx
+		}
+		tr.entries = append(tr.entries, e)
+		tr.byPC[pc] = append(tr.byPC[pc], idx)
+		if out.Halt {
+			break
+		}
+		pc = out.NextPC(pc)
+	}
+	return tr, nil
+}
+
+type traceState struct {
+	regs *[isa.NumRegs]uint64
+	m    *mem.Memory
+}
+
+func (s traceState) Reg(r isa.Reg) uint64 {
+	if r == isa.Zero {
+		return 0
+	}
+	return s.regs[r]
+}
+
+func (s traceState) SetReg(r isa.Reg, v uint64) {
+	if r != isa.Zero {
+		s.regs[r] = v
+	}
+}
+
+func (s traceState) Load(addr uint64, size int) (uint64, bool)  { return s.m.Read(addr, size) }
+func (s traceState) Store(addr uint64, size int, v uint64) bool { return s.m.Write(addr, size, v) }
+
+// Len returns the trace length.
+func (t *Trace) Len() int { return len(t.entries) }
+
+// Instances returns the dynamic instance count of pc.
+func (t *Trace) Instances(pc uint64) int { return len(t.byPC[pc]) }
+
+// --- Fork point selection ---
+
+// ForkCandidate scores one potential fork PC for a problem-PC set.
+type ForkCandidate struct {
+	PC uint64
+	// Coverage is the fraction of problem instances that had this PC
+	// fetched within the search window before them.
+	Coverage float64
+	// MeanLead is the average dynamic-instruction distance from the fork
+	// to the first covered problem instance.
+	MeanLead float64
+	// Equivalence measures control equivalence: episodes per dynamic
+	// execution of this PC. A good fork point executes exactly once per
+	// episode (1.0); loop-body PCs execute more often and score lower —
+	// forking at them re-forks mid-iteration and churns the correlator.
+	Equivalence float64
+}
+
+// SelectForkPoint finds a PC that consistently precedes the problem PCs'
+// dynamic instances by between minLead and maxLead instructions — the
+// mechanical version of §3.2's balancing act (early enough to tolerate
+// latency, close enough to stay control-equivalent). It returns candidates
+// sorted best-first.
+func SelectForkPoint(t *Trace, problemPCs []uint64, minLead, maxLead int) []ForkCandidate {
+	// Gather the first instance of each "episode": consecutive problem
+	// instances within minLead of each other belong to one episode (one
+	// loop's worth of instances needs one fork).
+	var firsts []int32
+	var all []int32
+	for _, pc := range problemPCs {
+		all = append(all, t.byPC[pc]...)
+	}
+	if len(all) == 0 {
+		return nil
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	last := int32(-1 << 30)
+	for _, i := range all {
+		// Skip episodes whose search window would clip below the trace
+		// start: they would unfairly penalize candidates that live in the
+		// previous outer iteration.
+		if int(i-last) > minLead && int(i) >= maxLead {
+			firsts = append(firsts, i)
+		}
+		last = i
+	}
+	if len(firsts) == 0 {
+		return nil
+	}
+
+	type score struct {
+		hits int
+		lead int
+	}
+	scores := make(map[uint64]*score)
+	for _, fi := range firsts {
+		lo := int(fi) - maxLead
+		if lo < 0 {
+			lo = 0
+		}
+		hi := int(fi) - minLead
+		if hi < 0 {
+			continue
+		}
+		seen := make(map[uint64]bool)
+		for j := hi; j >= lo; j-- {
+			pc := t.entries[j].pc
+			if seen[pc] {
+				continue // closest occurrence only
+			}
+			seen[pc] = true
+			s := scores[pc]
+			if s == nil {
+				s = &score{}
+				scores[pc] = s
+			}
+			s.hits++
+			s.lead += int(fi) - j
+		}
+	}
+
+	var out []ForkCandidate
+	for pc, s := range scores {
+		eq := float64(len(firsts)) / float64(len(t.byPC[pc]))
+		if eq > 1 {
+			eq = 1 / eq // executing less often than once per episode is equally bad
+		}
+		out = append(out, ForkCandidate{
+			PC:          pc,
+			Coverage:    float64(s.hits) / float64(len(firsts)),
+			MeanLead:    float64(s.lead) / float64(s.hits),
+			Equivalence: eq,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		// Prefer control-equivalent candidates, then coverage, then the
+		// longest lead, then lowest PC for determinism.
+		ei := out[i].Equivalence >= 0.9
+		ej := out[j].Equivalence >= 0.9
+		if ei != ej {
+			return ei
+		}
+		if out[i].Coverage != out[j].Coverage {
+			return out[i].Coverage > out[j].Coverage
+		}
+		if out[i].MeanLead != out[j].MeanLead {
+			return out[i].MeanLead > out[j].MeanLead
+		}
+		return out[i].PC < out[j].PC
+	})
+	return out
+}
+
+// --- Slice extraction ---
+
+// Options bounds the construction.
+type Options struct {
+	// MaxSliceLen caps the emitted (unrolled) slice body.
+	MaxSliceLen int
+	// MaxLiveIns rejects slices needing too much register communication
+	// (the paper: "rarely are more than 4 values required").
+	MaxLiveIns int
+	// SliceBase is the code address for the generated program.
+	SliceBase uint64
+}
+
+// DefaultOptions returns sensible bounds.
+func DefaultOptions() Options {
+	return Options{MaxSliceLen: 48, MaxLiveIns: 4, SliceBase: 0x180000}
+}
+
+// Built is the constructed slice plus its code.
+type Built struct {
+	Slice   *slicehw.Slice
+	Program *asm.Program
+	// Window is the representative fork→end trace window used.
+	WindowStart, WindowEnd int32
+}
+
+// Build constructs an un-optimized speculative slice for problemPCs,
+// forked at forkPC, from a representative trace window. Problem branches
+// must be BEQ/BNE (zero-testing) for their compare to serve as a PGI;
+// other problem PCs are treated as prefetch targets.
+func Build(t *Trace, forkPC uint64, problemPCs []uint64, opt Options) (*Built, error) {
+	if opt.MaxSliceLen == 0 {
+		opt = DefaultOptions()
+	}
+	problem := make(map[uint64]bool, len(problemPCs))
+	for _, pc := range problemPCs {
+		problem[pc] = true
+	}
+
+	start, end, err := representativeWindow(t, forkPC, problem)
+	if err != nil {
+		return nil, err
+	}
+
+	// Backward dataflow slice of every problem instance in the window.
+	marked := make(map[int32]bool)
+	var work []int32
+	for i := start; i < end; i++ {
+		if problem[t.entries[i].pc] {
+			work = append(work, i)
+		}
+	}
+	if len(work) == 0 {
+		return nil, fmt.Errorf("autoslice: no problem instances in the window")
+	}
+	for len(work) > 0 {
+		i := work[len(work)-1]
+		work = work[:len(work)-1]
+		if marked[i] {
+			continue
+		}
+		marked[i] = true
+		e := &t.entries[i]
+		for k := 0; k < e.nsrc; k++ {
+			if p := e.src[k]; p >= start {
+				work = append(work, p)
+			}
+		}
+	}
+
+	// Emit in trace order: stores and control dropped; problem branches
+	// contribute their compare as the PGI.
+	var order []int32
+	for i := range marked {
+		order = append(order, i)
+	}
+	sort.Slice(order, func(a, b int) bool { return order[a] < order[b] })
+
+	b := asm.NewBuilder(opt.SliceBase)
+	b.Label("auto")
+	var pgis []slicehw.PGI
+	var loadPCs []uint64
+	seenLoad := make(map[uint64]bool)
+	emitted := 0
+	for _, i := range order {
+		e := &t.entries[i]
+		in := e.in
+		switch {
+		case in.IsStore():
+			continue // speculative slices perform no stores (§4.1)
+		case in.IsCondBranch():
+			if !problem[e.pc] || (in.Op != isa.BEQ && in.Op != isa.BNE) {
+				continue // control flow is not replicated (§3.1)
+			}
+			// The branch's producer — already emitted or a live-in — is
+			// the value; mark the most recent emitted instruction writing
+			// the branch's source as the PGI. We re-emit a MOV as the PGI
+			// so the PGI PC is unique per unrolled instance.
+			pgiPC := b.PC()
+			b.Mov(isa.AT, in.Ra)
+			pgis = append(pgis, slicehw.PGI{
+				SlicePC:     pgiPC,
+				BranchPC:    e.pc,
+				TakenIfZero: in.Op == isa.BEQ,
+			})
+			emitted++
+			continue
+		case in.IsCtrl():
+			continue
+		}
+		b.Raw(*in)
+		emitted++
+		if in.IsLoad() && problem[e.pc] && !seenLoad[e.pc] {
+			seenLoad[e.pc] = true
+			loadPCs = append(loadPCs, e.pc)
+		}
+		if emitted >= opt.MaxSliceLen {
+			break
+		}
+	}
+	b.Halt()
+	prog, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("autoslice: emit: %w", err)
+	}
+	if len(prog.Insts) <= 1 {
+		return nil, fmt.Errorf("autoslice: empty slice")
+	}
+
+	liveIns := liveInsOf(prog.Insts)
+	if len(liveIns) > opt.MaxLiveIns {
+		return nil, fmt.Errorf("autoslice: %d live-ins exceed the bound of %d (the paper: rarely more than 4)",
+			len(liveIns), opt.MaxLiveIns)
+	}
+
+	sl := &slicehw.Slice{
+		Name:           fmt.Sprintf("auto@%#x", forkPC),
+		ForkPC:         forkPC,
+		SlicePC:        prog.PC("auto"),
+		LiveIns:        liveIns,
+		PGIs:           pgis,
+		CoveredLoadPCs: loadPCs,
+		StaticSize:     len(prog.Insts) - 1, // minus the HALT
+	}
+	if len(pgis) > 0 {
+		// The fork PC doubles as the slice kill: at each re-fetch of the
+		// fork, the previous activation's region is over. The skip-first
+		// exemption spares the instance forked by that same fetch (forks
+		// are serviced before kills at a PC).
+		sl.SliceKillPC = forkPC
+		sl.SliceKillSkipFirst = true
+		// A loop-iteration kill keeps per-iteration predictions aligned
+		// even when the helper allocates just in time (§5.1's selection,
+		// done mechanically).
+		if killPC, skip, ok := selectLoopKill(t, start, end, problem); ok {
+			sl.LoopKillPC = killPC
+			sl.LoopKillSkipFirst = skip
+		}
+	}
+	return &Built{Slice: sl, Program: prog, WindowStart: start, WindowEnd: end}, nil
+}
+
+// representativeWindow picks the fork instance whose fork→next-fork window
+// has the median number of problem instances.
+func representativeWindow(t *Trace, forkPC uint64, problem map[uint64]bool) (int32, int32, error) {
+	forks := t.byPC[forkPC]
+	if len(forks) == 0 {
+		return 0, 0, fmt.Errorf("autoslice: fork PC %#x never executes in the trace", forkPC)
+	}
+	type win struct {
+		start, end int32
+		n          int
+	}
+	var wins []win
+	for k, f := range forks {
+		end := int32(t.Len())
+		if k+1 < len(forks) {
+			end = forks[k+1]
+		}
+		n := 0
+		for i := f; i < end; i++ {
+			if problem[t.entries[i].pc] {
+				n++
+			}
+		}
+		if n > 0 {
+			wins = append(wins, win{f, end, n})
+		}
+	}
+	if len(wins) == 0 {
+		return 0, 0, fmt.Errorf("autoslice: no fork window contains a problem instance")
+	}
+	sort.Slice(wins, func(i, j int) bool { return wins[i].n < wins[j].n })
+	w := wins[len(wins)/2]
+	return w.start, w.end, nil
+}
+
+// liveInsOf returns the registers read before written by the sequence.
+func liveInsOf(insts []isa.Inst) []isa.Reg {
+	written := make(map[isa.Reg]bool)
+	var live []isa.Reg
+	seen := make(map[isa.Reg]bool)
+	for i := range insts {
+		in := &insts[i]
+		for _, r := range in.Sources() {
+			if !written[r] && !seen[r] {
+				seen[r] = true
+				live = append(live, r)
+			}
+		}
+		if d, ok := in.Dest(); ok {
+			written[d] = true
+		}
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i] < live[j] })
+	return live
+}
+
+// selectLoopKill mechanizes §5.1: when the covered problem instructions
+// execute several times per activation, find a PC that executes exactly
+// once between consecutive instances — a point that post-dominates the
+// iteration's exits and dominates the next instance. A PC that also
+// executes once before the first instance (a back-edge target) is usable
+// with the first-instance exemption.
+func selectLoopKill(t *Trace, start, end int32, problem map[uint64]bool) (uint64, bool, bool) {
+	var insts []int32
+	for i := start; i < end; i++ {
+		if problem[t.entries[i].pc] {
+			insts = append(insts, i)
+		}
+	}
+	if len(insts) < 2 {
+		return 0, false, false
+	}
+	// Count occurrences of each PC strictly between consecutive instances.
+	counts := make(map[uint64]int)
+	for k := 0; k+1 < len(insts); k++ {
+		seen := make(map[uint64]bool)
+		for j := insts[k] + 1; j < insts[k+1]; j++ {
+			pc := t.entries[j].pc
+			if seen[pc] {
+				delete(counts, pc) // more than once in an interval: unusable
+				continue
+			}
+			seen[pc] = true
+			if n, tracked := counts[pc]; !tracked && k == 0 {
+				counts[pc] = 1
+			} else if tracked && n == k {
+				counts[pc] = n + 1
+			}
+		}
+	}
+	// A usable kill PC appeared exactly once in every interval.
+	var best uint64
+	bestPos := int32(1 << 30)
+	for pc, n := range counts {
+		if n != len(insts)-1 {
+			continue
+		}
+		// Prefer the candidate closest after the first instance.
+		for j := insts[0] + 1; j < insts[1]; j++ {
+			if t.entries[j].pc == pc && j < bestPos {
+				best, bestPos = pc, j
+				break
+			}
+		}
+	}
+	if best == 0 {
+		return 0, false, false
+	}
+	// If the PC also executes before the first instance, the first fetch
+	// per activation must not kill.
+	skip := false
+	for j := start; j < insts[0]; j++ {
+		if t.entries[j].pc == best {
+			skip = true
+			break
+		}
+	}
+	return best, skip, true
+}

@@ -1,0 +1,121 @@
+// Package bpred implements the paper's front-end predictors (Table 1): a
+// 64 Kbit YAGS direction predictor, a 32 Kbit cascading indirect branch
+// predictor, and a 64-entry return address stack with checkpoint repair.
+// Bimodal and gshare predictors are included as ablation baselines.
+//
+// Predictors are history-external: the CPU owns the speculative global
+// history and path history registers (checkpointed per in-flight branch and
+// restored on squash) and passes them in, so prediction at fetch and update
+// at retire see exactly the history a real front end would.
+package bpred
+
+// DirPredictor predicts conditional branch directions.
+type DirPredictor interface {
+	// Predict returns the predicted direction for the branch at pc under
+	// global history hist.
+	Predict(pc, hist uint64) bool
+	// Update trains the predictor with the resolved direction.
+	Update(pc, hist uint64, taken bool)
+}
+
+// IndirectPredictor predicts indirect jump targets.
+type IndirectPredictor interface {
+	// Predict returns the predicted target (0 if no prediction).
+	Predict(pc, path uint64) uint64
+	// Update trains the predictor with the resolved target.
+	Update(pc, path, target uint64)
+}
+
+// ctr is a 2-bit saturating counter.
+type ctr uint8
+
+func (c ctr) taken() bool { return c >= 2 }
+
+func (c ctr) inc() ctr {
+	if c < 3 {
+		return c + 1
+	}
+	return c
+}
+
+func (c ctr) dec() ctr {
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+func train(c ctr, taken bool) ctr {
+	if taken {
+		return c.inc()
+	}
+	return c.dec()
+}
+
+// Bimodal is a PC-indexed table of 2-bit counters.
+type Bimodal struct {
+	table []ctr
+	mask  uint64
+}
+
+// NewBimodal builds a bimodal predictor with entries counters (power of
+// two).
+func NewBimodal(entries int) *Bimodal {
+	t := make([]ctr, entries)
+	for i := range t {
+		t[i] = 2 // weakly taken
+	}
+	return &Bimodal{table: t, mask: uint64(entries - 1)}
+}
+
+func (b *Bimodal) idx(pc uint64) uint64 { return (pc >> 2) & b.mask }
+
+// Predict implements DirPredictor.
+func (b *Bimodal) Predict(pc, _ uint64) bool { return b.table[b.idx(pc)].taken() }
+
+// Update implements DirPredictor.
+func (b *Bimodal) Update(pc, _ uint64, taken bool) {
+	i := b.idx(pc)
+	b.table[i] = train(b.table[i], taken)
+}
+
+// GShare xors global history into the index.
+type GShare struct {
+	table    []ctr
+	mask     uint64
+	histBits uint
+}
+
+// NewGShare builds a gshare predictor with entries counters and histBits of
+// global history.
+func NewGShare(entries int, histBits uint) *GShare {
+	t := make([]ctr, entries)
+	for i := range t {
+		t[i] = 2
+	}
+	return &GShare{table: t, mask: uint64(entries - 1), histBits: histBits}
+}
+
+func (g *GShare) idx(pc, hist uint64) uint64 {
+	h := hist & (1<<g.histBits - 1)
+	return ((pc >> 2) ^ h) & g.mask
+}
+
+// Predict implements DirPredictor.
+func (g *GShare) Predict(pc, hist uint64) bool { return g.table[g.idx(pc, hist)].taken() }
+
+// Update implements DirPredictor.
+func (g *GShare) Update(pc, hist uint64, taken bool) {
+	i := g.idx(pc, hist)
+	g.table[i] = train(g.table[i], taken)
+}
+
+// Oracle is the perfect direction predictor used by the limit studies: the
+// CPU primes it with the actual outcome before asking.
+type Oracle struct{ Outcome bool }
+
+// Predict implements DirPredictor by returning the primed outcome.
+func (o *Oracle) Predict(_, _ uint64) bool { return o.Outcome }
+
+// Update implements DirPredictor as a no-op.
+func (o *Oracle) Update(_, _ uint64, _ bool) {}

@@ -1,0 +1,52 @@
+package bpred
+
+// RAS is the 64-entry return address stack. Pushes and pops happen
+// speculatively at fetch; each in-flight control instruction checkpoints
+// (top-of-stack pointer, top value) so a squash restores the stack exactly
+// — the standard single-entry repair scheme, sufficient because the stack
+// body is only corrupted above the saved pointer.
+type RAS struct {
+	stack []uint64
+	sp    int // index of the next free slot (top is sp-1)
+}
+
+// RASState is a checkpoint of the stack.
+type RASState struct {
+	SP  int
+	Top uint64
+}
+
+// NewRAS builds a return address stack of n entries.
+func NewRAS(n int) *RAS { return &RAS{stack: make([]uint64, n)} }
+
+func (r *RAS) wrap(i int) int {
+	n := len(r.stack)
+	return ((i % n) + n) % n
+}
+
+// Push records a return address (on CALL fetch).
+func (r *RAS) Push(addr uint64) {
+	r.stack[r.wrap(r.sp)] = addr
+	r.sp++
+}
+
+// Pop predicts the target of a RET.
+func (r *RAS) Pop() uint64 {
+	r.sp--
+	return r.stack[r.wrap(r.sp)]
+}
+
+// Save captures a checkpoint.
+func (r *RAS) Save() RASState {
+	return RASState{SP: r.sp, Top: r.stack[r.wrap(r.sp-1)]}
+}
+
+// Restore rewinds to a checkpoint.
+func (r *RAS) Restore(s RASState) {
+	r.sp = s.SP
+	r.stack[r.wrap(r.sp-1)] = s.Top
+}
+
+// Depth returns the logical stack depth (can exceed capacity under deep
+// recursion; the oldest entries are then overwritten).
+func (r *RAS) Depth() int { return r.sp }

@@ -1,0 +1,101 @@
+package bpred
+
+// YAGS (Eden & Mudge, MICRO-31) splits a choice bimodal table from two
+// small tagged "direction caches". The choice table records each branch's
+// bias; the T-cache holds instances where a not-taken-biased branch went
+// taken, and the NT-cache the converse. Only exceptions to the bias occupy
+// cache space, which is why YAGS beats gshare at equal budget.
+type YAGS struct {
+	choice   []ctr
+	t        []yagsEntry // consulted when choice says not-taken
+	nt       []yagsEntry // consulted when choice says taken
+	cmask    uint64
+	emask    uint64
+	tagBits  uint
+	histBits uint
+}
+
+type yagsEntry struct {
+	tag   uint16
+	c     ctr
+	valid bool
+}
+
+// NewYAGS builds a YAGS predictor with choiceEntries bimodal counters and
+// cacheEntries entries in each direction cache. The paper's 64 Kbit budget
+// corresponds to NewYAGS(8192, 2048, 6, 12): 16 Kb choice + 2×2K×(2+6) = 48 Kb.
+func NewYAGS(choiceEntries, cacheEntries int, tagBits, histBits uint) *YAGS {
+	y := &YAGS{
+		choice:   make([]ctr, choiceEntries),
+		t:        make([]yagsEntry, cacheEntries),
+		nt:       make([]yagsEntry, cacheEntries),
+		cmask:    uint64(choiceEntries - 1),
+		emask:    uint64(cacheEntries - 1),
+		tagBits:  tagBits,
+		histBits: histBits,
+	}
+	for i := range y.choice {
+		y.choice[i] = 2
+	}
+	return y
+}
+
+// DefaultYAGS returns the Table 1 configuration (64 Kb budget).
+func DefaultYAGS() *YAGS { return NewYAGS(8192, 2048, 6, 12) }
+
+func (y *YAGS) choiceIdx(pc uint64) uint64 { return (pc >> 2) & y.cmask }
+
+func (y *YAGS) cacheIdx(pc, hist uint64) uint64 {
+	h := hist & (1<<y.histBits - 1)
+	return ((pc >> 2) ^ h) & y.emask
+}
+
+func (y *YAGS) tag(pc uint64) uint16 {
+	return uint16((pc >> 2) & (1<<y.tagBits - 1))
+}
+
+// Predict implements DirPredictor.
+func (y *YAGS) Predict(pc, hist uint64) bool {
+	bias := y.choice[y.choiceIdx(pc)].taken()
+	i := y.cacheIdx(pc, hist)
+	tag := y.tag(pc)
+	if bias {
+		if e := &y.nt[i]; e.valid && e.tag == tag {
+			return e.c.taken()
+		}
+		return true
+	}
+	if e := &y.t[i]; e.valid && e.tag == tag {
+		return e.c.taken()
+	}
+	return false
+}
+
+// Update implements DirPredictor.
+func (y *YAGS) Update(pc, hist uint64, taken bool) {
+	ci := y.choiceIdx(pc)
+	bias := y.choice[ci].taken()
+	i := y.cacheIdx(pc, hist)
+	tag := y.tag(pc)
+
+	cache := y.nt
+	if !bias {
+		cache = y.t
+	}
+	e := &cache[i]
+	hit := e.valid && e.tag == tag
+
+	if hit {
+		e.c = train(e.c, taken)
+	} else if taken != bias {
+		// Allocate: this instance is an exception to the bias.
+		*e = yagsEntry{tag: tag, valid: true}
+		e.c = train(2, taken) // weakly toward the observed outcome
+	}
+
+	// The choice table trains except when the cache supplied a correct
+	// prediction that disagrees with the bias (keeping the bias stable).
+	if !(hit && e.c.taken() == taken && taken != bias) {
+		y.choice[ci] = train(y.choice[ci], taken)
+	}
+}

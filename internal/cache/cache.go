@@ -1,0 +1,187 @@
+// Package cache models the paper's memory hierarchy (Table 1): a 64 KB
+// 2-way L1 data cache with 64-byte lines and 3-cycle access, a 2 MB 4-way
+// unified L2 with 128-byte lines and 6-cycle access, 100-cycle minimum
+// memory latency, write-back write-allocate everywhere, a 64-entry unified
+// prefetch/victim buffer probed in parallel with the L1, and a hardware
+// stream prefetcher that detects unit-stride miss patterns (positive and
+// negative) and prefetches sequential blocks when bandwidth is available.
+//
+// Caches here track tags, dirty bits, and LRU state only — data lives in
+// the shared mem.Memory. That is exact for a simulator in which functional
+// values come from the memory image and only timing flows through the
+// hierarchy.
+package cache
+
+import "fmt"
+
+// Stats counts events for one cache.
+type Stats struct {
+	Accesses   uint64
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	Writebacks uint64
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint64
+}
+
+// Cache is one set-associative, write-back, write-allocate cache level.
+type Cache struct {
+	name      string
+	sets      int
+	ways      int
+	lineShift uint
+	lines     []line // sets × ways, row-major
+	clock     uint64 // LRU timestamp source
+	stats     Stats
+}
+
+// NewCache builds a cache with the given geometry. sizeBytes must be
+// sets*ways*lineBytes; lineBytes and sets must be powers of two.
+func NewCache(name string, sizeBytes, ways, lineBytes int) (*Cache, error) {
+	if lineBytes <= 0 || lineBytes&(lineBytes-1) != 0 {
+		return nil, fmt.Errorf("cache %s: line size %d not a power of two", name, lineBytes)
+	}
+	if ways <= 0 || sizeBytes%(ways*lineBytes) != 0 {
+		return nil, fmt.Errorf("cache %s: size %d not divisible by ways*line", name, sizeBytes)
+	}
+	sets := sizeBytes / (ways * lineBytes)
+	if sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("cache %s: set count %d not a power of two", name, sets)
+	}
+	shift := uint(0)
+	for 1<<shift != lineBytes {
+		shift++
+	}
+	return &Cache{
+		name:      name,
+		sets:      sets,
+		ways:      ways,
+		lineShift: shift,
+		lines:     make([]line, sets*ways),
+	}, nil
+}
+
+// MustCache is NewCache that panics; configuration is static.
+func MustCache(name string, sizeBytes, ways, lineBytes int) *Cache {
+	c, err := NewCache(name, sizeBytes, ways, lineBytes)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// LineAddr returns the line-aligned address containing addr.
+func (c *Cache) LineAddr(addr uint64) uint64 { return addr >> c.lineShift << c.lineShift }
+
+// LineBytes returns the line size.
+func (c *Cache) LineBytes() int { return 1 << c.lineShift }
+
+func (c *Cache) set(addr uint64) []line {
+	idx := (addr >> c.lineShift) & uint64(c.sets-1)
+	return c.lines[int(idx)*c.ways : (int(idx)+1)*c.ways]
+}
+
+// Probe reports whether addr's line is present without updating LRU or
+// stats (used by the prefetcher to filter redundant prefetches).
+func (c *Cache) Probe(addr uint64) bool {
+	tag := addr >> c.lineShift
+	s := c.set(addr)
+	for i := range s {
+		if s[i].valid && s[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Access looks up addr; on hit it updates LRU (and the dirty bit for
+// writes) and returns true. On miss it returns false without filling — the
+// hierarchy decides when the fill lands.
+func (c *Cache) Access(addr uint64, write bool) bool {
+	c.clock++
+	c.stats.Accesses++
+	tag := addr >> c.lineShift
+	s := c.set(addr)
+	for i := range s {
+		if s[i].valid && s[i].tag == tag {
+			s[i].lru = c.clock
+			if write {
+				s[i].dirty = true
+			}
+			c.stats.Hits++
+			return true
+		}
+	}
+	c.stats.Misses++
+	return false
+}
+
+// Fill installs addr's line, returning the evicted victim if one was valid.
+// dirty marks the incoming line (write-allocate stores fill dirty).
+func (c *Cache) Fill(addr uint64, dirty bool) (victimAddr uint64, victimDirty, evicted bool) {
+	c.clock++
+	tag := addr >> c.lineShift
+	s := c.set(addr)
+	// Already present (a racing fill): just refresh.
+	for i := range s {
+		if s[i].valid && s[i].tag == tag {
+			s[i].lru = c.clock
+			s[i].dirty = s[i].dirty || dirty
+			return 0, false, false
+		}
+	}
+	// Pick an invalid way, else the LRU way.
+	vi := 0
+	for i := range s {
+		if !s[i].valid {
+			vi = i
+			goto place
+		}
+		if s[i].lru < s[vi].lru {
+			vi = i
+		}
+	}
+	if s[vi].valid {
+		evicted = true
+		victimDirty = s[vi].dirty
+		victimAddr = s[vi].tag << c.lineShift
+		c.stats.Evictions++
+		if victimDirty {
+			c.stats.Writebacks++
+		}
+	}
+place:
+	s[vi] = line{tag: tag, valid: true, dirty: dirty, lru: c.clock}
+	return victimAddr, victimDirty, evicted
+}
+
+// Invalidate removes addr's line if present, reporting whether it was there
+// and whether it was dirty.
+func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
+	tag := addr >> c.lineShift
+	s := c.set(addr)
+	for i := range s {
+		if s[i].valid && s[i].tag == tag {
+			present, dirty = true, s[i].dirty
+			s[i] = line{}
+			return
+		}
+	}
+	return
+}
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the counters (used after warm-up, like the paper's 100M
+// instruction warm-up run).
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// Name returns the cache's name.
+func (c *Cache) Name() string { return c.name }

@@ -1,0 +1,448 @@
+package cache
+
+// Origin records which agent brought a line into the L1/PVB, so the
+// simulator can attribute "misses covered" (Table 4) to helper-thread
+// prefetching versus the hardware prefetcher.
+type Origin uint8
+
+// Line origins.
+const (
+	OriginNone Origin = iota
+	OriginDemand
+	OriginHWPrefetch
+	OriginHelper
+)
+
+// Kind classifies the requester of an access.
+type Kind uint8
+
+// Access kinds.
+const (
+	KindDemand Kind = iota // main-thread load/store
+	KindHelper             // helper-thread (slice) load
+)
+
+// Level says where an access was satisfied.
+type Level uint8
+
+// Service levels.
+const (
+	LevelL1 Level = iota
+	LevelPVB
+	LevelL2
+	LevelMem
+	LevelMerged // merged with an in-flight fill of the same line
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelL1:
+		return "L1"
+	case LevelPVB:
+		return "PVB"
+	case LevelL2:
+		return "L2"
+	case LevelMem:
+		return "mem"
+	case LevelMerged:
+		return "merged"
+	}
+	return "?"
+}
+
+// Result describes one data access.
+type Result struct {
+	// Latency is load-to-use latency in cycles (≥ LatL1).
+	Latency uint64
+	// Level says where the line was found.
+	Level Level
+	// L1Miss reports whether the L1 itself missed (a PVB hit is still an
+	// L1 miss architecturally, but it is serviced at hit latency).
+	L1Miss bool
+	// HelperCovered is set on the first demand touch of a line a helper
+	// thread brought in — the "miss covered" event of Table 4.
+	HelperCovered bool
+	// HWPrefCovered is the same for hardware-prefetched lines.
+	HWPrefCovered bool
+}
+
+// Params configures the hierarchy. DefaultParams returns Table 1.
+type Params struct {
+	L1Bytes, L1Ways, L1Line int
+	L2Bytes, L2Ways, L2Line int
+	ICBytes, ICWays, ICLine int
+
+	LatL1  uint64 // L1 access, including address generation
+	LatL2  uint64 // additional L2 access latency
+	LatMem uint64 // additional minimum memory latency
+
+	PVBEntries    int
+	Streams       int
+	PrefetchDepth int
+
+	// MemOccupancy is how long one line transfer holds the memory bus;
+	// demand fills queue behind each other, and prefetches issue only when
+	// the bus is idle ("when bandwidth is available", Table 1).
+	MemOccupancy uint64
+	// WriteBufEntries bounds the retired-store write buffer.
+	WriteBufEntries int
+}
+
+// DefaultParams returns the paper's Table 1 memory system.
+func DefaultParams() Params {
+	return Params{
+		L1Bytes: 64 << 10, L1Ways: 2, L1Line: 64,
+		L2Bytes: 2 << 20, L2Ways: 4, L2Line: 128,
+		ICBytes: 64 << 10, ICWays: 2, ICLine: 64,
+		LatL1: 3, LatL2: 6, LatMem: 100,
+		PVBEntries:      64,
+		Streams:         16,
+		PrefetchDepth:   2,
+		MemOccupancy:    4,
+		WriteBufEntries: 16,
+	}
+}
+
+// HierStats aggregates hierarchy-wide counters.
+type HierStats struct {
+	DemandLoads      uint64
+	DemandLoadMisses uint64 // L1 misses seen by demand loads (incl. PVB hits)
+	DemandStalls     uint64 // demand accesses with latency above L1 hit
+	HelperAccesses   uint64
+	HelperMisses     uint64 // helper accesses that initiated a fill
+	PrefetchIssued   uint64 // hardware prefetches actually launched
+	PrefetchUseful   uint64
+	HelperCovered    uint64
+	WriteBufFull     uint64
+	Writebacks       uint64 // dirty lines pushed toward memory
+	ICMisses         uint64
+}
+
+type pendingFill struct {
+	line  uint64
+	ready uint64
+	orig  Origin
+	dirty bool
+}
+
+// Hierarchy ties the caches, buffers, prefetcher, and bus together and is
+// the single entry point the CPU uses for data and instruction accesses.
+type Hierarchy struct {
+	P    Params
+	L1D  *Cache
+	L1I  *Cache
+	L2   *Cache
+	PVB  *PVB
+	Pref *StreamPrefetcher
+
+	// lineReady tracks in-flight L1 fills (MSHR merging): line address →
+	// cycle the data arrives. Entries are pruned lazily.
+	lineReady map[uint64]uint64
+	inflOrig  map[uint64]Origin
+	// origin of lines currently resident in L1 or PVB that were brought
+	// by a non-demand agent and not yet touched by demand.
+	origin map[uint64]Origin
+
+	pendingPVB []pendingFill // prefetch arrivals headed for the PVB
+	memFree    uint64        // next cycle the memory bus is free
+	writeBuf   []uint64      // line addresses of retired store misses
+
+	Stats HierStats
+}
+
+// NewHierarchy builds the memory system.
+func NewHierarchy(p Params) *Hierarchy {
+	return &Hierarchy{
+		P:         p,
+		L1D:       MustCache("L1D", p.L1Bytes, p.L1Ways, p.L1Line),
+		L1I:       MustCache("L1I", p.ICBytes, p.ICWays, p.ICLine),
+		L2:        MustCache("L2", p.L2Bytes, p.L2Ways, p.L2Line),
+		PVB:       NewPVB(p.PVBEntries, p.L1Line),
+		Pref:      NewStreamPrefetcher(p.Streams, p.PrefetchDepth),
+		lineReady: make(map[uint64]uint64),
+		inflOrig:  make(map[uint64]Origin),
+		origin:    make(map[uint64]Origin),
+	}
+}
+
+// fillL1 installs a line into the L1, spilling the victim to the PVB and a
+// dirty PVB victim onward to the L2.
+func (h *Hierarchy) fillL1(line uint64, dirty bool, orig Origin) {
+	vAddr, vDirty, ev := h.L1D.Fill(line, dirty)
+	if orig == OriginHelper || orig == OriginHWPrefetch {
+		h.origin[line] = orig
+	}
+	if ev {
+		delete(h.origin, vAddr)
+		pvAddr, pvDirty, pvEv := h.PVB.Insert(vAddr, vDirty)
+		if pvEv && pvDirty {
+			h.writebackToL2(pvAddr)
+		}
+	}
+}
+
+func (h *Hierarchy) writebackToL2(line uint64) {
+	h.Stats.Writebacks++
+	// Write-allocate into the L2; a dirty L2 victim goes to memory
+	// (writeback bandwidth is not modeled, per Table 1).
+	if !h.L2.Access(line, true) {
+		h.L2.Fill(line, true)
+	}
+}
+
+// consumeOrigin checks attribution on a demand touch of line.
+func (h *Hierarchy) consumeOrigin(line uint64, r *Result) {
+	switch h.origin[line] {
+	case OriginHelper:
+		r.HelperCovered = true
+		h.Stats.HelperCovered++
+		delete(h.origin, line)
+	case OriginHWPrefetch:
+		r.HWPrefCovered = true
+		h.Stats.PrefetchUseful++
+		delete(h.origin, line)
+	}
+}
+
+// Access performs the timing for one data access at cycle now. write marks
+// stores (which the CPU calls at retire through StoreRetire instead; write
+// Accesses here come from the write-buffer drain). kind attributes the
+// requester.
+func (h *Hierarchy) Access(addr uint64, write bool, kind Kind, now uint64) Result {
+	line := h.L1D.LineAddr(addr)
+	r := Result{Latency: h.P.LatL1, Level: LevelL1}
+
+	if kind == KindDemand {
+		h.Stats.DemandLoads++
+	} else {
+		h.Stats.HelperAccesses++
+	}
+
+	if h.L1D.Access(addr, write) {
+		// L1 hit; may still be waiting on an in-flight fill of this line.
+		if ready, ok := h.lineReady[line]; ok {
+			if ready > now+h.P.LatL1 {
+				r.Latency = ready - now
+				r.Level = LevelMerged
+			} else {
+				delete(h.lineReady, line)
+				delete(h.inflOrig, line)
+			}
+		}
+		if kind == KindDemand {
+			h.consumeOrigin(line, &r)
+			if r.Latency > h.P.LatL1 {
+				h.Stats.DemandStalls++
+			}
+		}
+		return r
+	}
+
+	// L1 miss.
+	r.L1Miss = true
+	if kind == KindDemand {
+		h.Stats.DemandLoadMisses++
+	}
+
+	// Merge with an in-flight fill of the same line.
+	if ready, ok := h.lineReady[line]; ok {
+		r.Level = LevelMerged
+		if ready < now+h.P.LatL1 {
+			ready = now + h.P.LatL1
+		}
+		r.Latency = ready - now
+		if kind == KindDemand {
+			// Attribute partial coverage to whoever started the fill.
+			switch h.inflOrig[line] {
+			case OriginHelper:
+				r.HelperCovered = true
+				h.Stats.HelperCovered++
+				h.inflOrig[line] = OriginDemand
+			case OriginHWPrefetch:
+				r.HWPrefCovered = true
+				h.Stats.PrefetchUseful++
+				h.inflOrig[line] = OriginDemand
+			}
+			h.Stats.DemandStalls++
+		}
+		// The demand use promotes the line into the L1 (an in-flight
+		// prefetch would otherwise have parked it in the PVB).
+		h.fillL1(line, write, OriginNone)
+		return r
+	}
+
+	// Parallel probe of the prefetch/victim buffer.
+	if present, dirty := h.PVB.Extract(line); present {
+		r.Level = LevelPVB
+		h.fillL1(line, dirty || write, OriginNone)
+		if kind == KindDemand {
+			h.consumeOrigin(line, &r)
+		}
+		return r
+	}
+
+	// L2 lookup.
+	orig := OriginDemand
+	if kind == KindHelper {
+		orig = OriginHelper
+		h.Stats.HelperMisses++
+	}
+	if h.L2.Access(addr, false) {
+		r.Level = LevelL2
+		r.Latency = h.P.LatL1 + h.P.LatL2
+		h.fillL1(line, write, orig)
+		h.lineReady[line] = now + r.Latency
+		h.inflOrig[line] = orig
+	} else {
+		// Memory, behind the bus.
+		start := now + h.P.LatL1 + h.P.LatL2
+		if h.memFree > start {
+			start = h.memFree
+		}
+		h.memFree = start + h.P.MemOccupancy
+		ready := start + h.P.LatMem
+		r.Level = LevelMem
+		r.Latency = ready - now
+		h.L2.Fill(addr, false)
+		h.fillL1(line, write, orig)
+		h.lineReady[line] = ready
+		h.inflOrig[line] = orig
+	}
+	if kind == KindDemand {
+		h.Stats.DemandStalls++
+		// Demand misses train the stream prefetcher.
+		h.launchPrefetches(line, now)
+	}
+	return r
+}
+
+// launchPrefetches asks the stream prefetcher for candidates and issues
+// those that are new, cacheable, and affordable bandwidth-wise.
+func (h *Hierarchy) launchPrefetches(missLine uint64, now uint64) {
+	lineBytes := uint64(h.P.L1Line)
+	for _, cand := range h.Pref.OnMiss(missLine, lineBytes) {
+		if h.L1D.Probe(cand) || h.PVB.Probe(cand) {
+			continue
+		}
+		if _, busy := h.lineReady[cand]; busy {
+			continue
+		}
+		var ready uint64
+		if h.L2.Access(cand, false) {
+			ready = now + h.P.LatL1 + h.P.LatL2
+		} else {
+			// Bandwidth gate: issue memory prefetches only while the bus
+			// queue is shallower than one memory latency ("when bandwidth
+			// is available", Table 1).
+			if h.memFree > now && h.memFree-now >= h.P.LatMem {
+				continue
+			}
+			start := now + h.P.LatL1 + h.P.LatL2
+			if h.memFree > start {
+				start = h.memFree
+			}
+			h.memFree = start + h.P.MemOccupancy
+			ready = start + h.P.LatMem
+			h.L2.Fill(cand, false)
+		}
+		h.Stats.PrefetchIssued++
+		h.lineReady[cand] = ready
+		h.inflOrig[cand] = OriginHWPrefetch
+		h.pendingPVB = append(h.pendingPVB, pendingFill{line: cand, ready: ready, orig: OriginHWPrefetch})
+	}
+}
+
+// StoreRetire retires a store into the memory system through the write
+// buffer. It returns false when the write buffer is full, in which case the
+// caller must stall retirement and retry.
+func (h *Hierarchy) StoreRetire(addr uint64, now uint64) bool {
+	if h.L1D.Access(addr, true) {
+		return true
+	}
+	line := h.L1D.LineAddr(addr)
+	for _, wb := range h.writeBuf {
+		if wb == line {
+			return true // already being allocated
+		}
+	}
+	if len(h.writeBuf) >= h.P.WriteBufEntries {
+		h.Stats.WriteBufFull++
+		return false
+	}
+	h.writeBuf = append(h.writeBuf, line)
+	return true
+}
+
+// FetchAccess models the instruction cache for one fetch of pc, returning
+// the extra latency beyond the pipelined fetch (0 on hit).
+func (h *Hierarchy) FetchAccess(pc uint64, now uint64) uint64 {
+	if h.L1I.Access(pc, false) {
+		return 0
+	}
+	h.Stats.ICMisses++
+	h.L1I.Fill(pc, false)
+	if h.L2.Access(pc, false) {
+		return h.P.LatL2
+	}
+	h.L2.Fill(pc, false)
+	start := now
+	if h.memFree > start {
+		start = h.memFree
+	}
+	h.memFree = start + h.P.MemOccupancy
+	return start + h.P.LatMem - now
+}
+
+// Tick advances background machinery once per cycle: prefetch arrivals move
+// into the PVB and the write buffer drains when the bus allows.
+func (h *Hierarchy) Tick(now uint64) {
+	if len(h.pendingPVB) > 0 {
+		kept := h.pendingPVB[:0]
+		for _, pf := range h.pendingPVB {
+			if pf.ready > now {
+				kept = append(kept, pf)
+				continue
+			}
+			// If a demand access promoted the line to L1 meanwhile, skip.
+			if h.L1D.Probe(pf.line) {
+				continue
+			}
+			vAddr, vDirty, ev := h.PVB.Insert(pf.line, pf.dirty)
+			if ev {
+				delete(h.origin, vAddr)
+				if vDirty {
+					h.writebackToL2(vAddr)
+				}
+			}
+			if h.inflOrig[pf.line] == pf.orig {
+				h.origin[pf.line] = pf.orig
+			}
+			delete(h.lineReady, pf.line)
+			delete(h.inflOrig, pf.line)
+		}
+		h.pendingPVB = kept
+	}
+
+	// Drain one write-buffer entry per cycle when the bus is free.
+	if len(h.writeBuf) > 0 && h.memFree <= now {
+		line := h.writeBuf[0]
+		h.writeBuf = h.writeBuf[1:]
+		// Write-allocate the line (dirty) into L1.
+		if !h.L1D.Probe(line) {
+			if present, _ := h.PVB.Extract(line); present {
+				h.fillL1(line, true, OriginNone)
+			} else {
+				if !h.L2.Access(line, false) {
+					h.L2.Fill(line, false)
+					h.memFree = now + h.P.MemOccupancy
+				}
+				h.fillL1(line, true, OriginNone)
+			}
+		} else {
+			h.L1D.Access(line, true)
+		}
+	}
+}
+
+// WriteBufLen reports current write-buffer occupancy (tests and stats).
+func (h *Hierarchy) WriteBufLen() int { return len(h.writeBuf) }

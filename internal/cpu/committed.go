@@ -1,0 +1,48 @@
+package cpu
+
+// committedRead reconstructs the architecturally committed bytes at
+// [addr, addr+size) by peeling the in-flight (unretired) main-thread
+// stores off the speculative memory image, using their undo records. The
+// records are applied youngest-first so the final value is the one from
+// before the *oldest* in-flight store — i.e., the retired state.
+func (c *Core) committedRead(addr uint64, size int) (uint64, bool) {
+	v, ok := c.mem.Read(addr, size)
+	for i := len(c.mainStores) - 1; i >= 0; i-- {
+		s := c.mainStores[i]
+		if s.Retired || s.Squashed || !s.undoMemValid {
+			continue
+		}
+		sa, sn := s.undoMemAddr, s.undoMemSize
+		if sa == addr && sn == size {
+			v = s.undoMemVal
+			continue
+		}
+		if !overlaps(sa, sn, addr, size) {
+			continue
+		}
+		// Partial overlap: splice the undo bytes in.
+		for b := 0; b < size; b++ {
+			ba := addr + uint64(b)
+			if ba >= sa && ba < sa+uint64(sn) {
+				old := byte(s.undoMemVal >> (8 * (ba - sa)))
+				v = v&^(uint64(0xFF)<<(8*b)) | uint64(old)<<(8*b)
+			}
+		}
+	}
+	return v, ok
+}
+
+// noteMainStore registers a fetched main-thread store for committedRead,
+// compacting the list when retired/squashed entries accumulate.
+func (c *Core) noteMainStore(di *DynInst) {
+	if len(c.mainStores) > 192 {
+		kept := c.mainStores[:0]
+		for _, s := range c.mainStores {
+			if !s.Retired && !s.Squashed {
+				kept = append(kept, s)
+			}
+		}
+		c.mainStores = kept
+	}
+	c.mainStores = append(c.mainStores, di)
+}

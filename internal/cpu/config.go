@@ -1,0 +1,142 @@
+// Package cpu implements the simulated machine of Table 1: an aggressive,
+// heavily pipelined out-of-order SMT processor with an execute-at-fetch
+// functional model. Wrong paths execute real instructions; squashes roll
+// state back through per-instruction undo logs; helper threads run
+// speculative slices that prefetch into the shared L1 and feed branch
+// predictions to the prediction correlator.
+package cpu
+
+import (
+	"repro/internal/cache"
+)
+
+// Perfect configures the limit-study modes of §2.3 and §6: oracle branch
+// prediction and L1-hit loads, globally or for a selected set of static
+// PCs (the "problem instructions").
+type Perfect struct {
+	AllBranches bool
+	AllLoads    bool
+	BranchPCs   map[uint64]bool
+	LoadPCs     map[uint64]bool
+}
+
+// CoversBranch reports whether the branch at pc is perfected.
+func (p *Perfect) CoversBranch(pc uint64) bool {
+	return p.AllBranches || p.BranchPCs[pc]
+}
+
+// CoversLoad reports whether the load at pc is perfected.
+func (p *Perfect) CoversLoad(pc uint64) bool {
+	return p.AllLoads || p.LoadPCs[pc]
+}
+
+// Config holds every machine parameter. Config4Wide and Config8Wide are
+// the paper's two machines.
+type Config struct {
+	Name string
+
+	FetchWidth   int
+	IssueWidth   int
+	CommitWidth  int
+	WindowSize   int
+	LdStPorts    int
+	ComplexUnits int
+
+	// FrontLatency is the fetch→dispatch depth; with one cycle each for
+	// issue and execute it sets the 14-cycle minimum branch misprediction
+	// penalty of Table 1.
+	FrontLatency  uint64
+	FetchQueueCap int
+
+	ThreadContexts int
+
+	MulLatency uint64
+	DivLatency uint64
+
+	Mem cache.Params
+
+	// MainFetchWeight biases the ICOUNT fetch policy toward the main
+	// thread (a weight of 2 lets the main thread hold twice a helper's
+	// share of in-flight instructions before losing priority).
+	MainFetchWeight float64
+
+	// HelperWindowCap bounds how many window entries all helper threads
+	// may hold together, so slices whose loads sit waiting on memory
+	// cannot starve the main thread of window space.
+	HelperWindowCap int
+	// HelperFetchQCap bounds each helper's fetch queue (the main thread
+	// uses FetchQueueCap).
+	HelperFetchQCap int
+
+	// PredQueueDepth is the correlator's per-branch prediction capacity.
+	// Figure 10 shows 8; we double it so a slice hoisted one outer
+	// iteration ahead can hold a full iteration's predictions while the
+	// previous instance's entries await their kills (the paper notes more
+	// efficient implementations are possible, §5.4).
+	PredQueueDepth int
+
+	// SlicePredictionsOff suppresses PGI allocation so slices only
+	// prefetch — used to decompose speedup into load and branch parts
+	// (Table 4's final row).
+	SlicePredictionsOff bool
+
+	// ConfidenceGatedForks implements §6.3's "obvious future work":
+	// gate each fork with a JRS-style confidence estimator so slices run
+	// only when their covered problem instructions are actually likely to
+	// miss or mispredict, cutting the opportunity cost of slice execution.
+	ConfidenceGatedForks bool
+	// ConfidenceThreshold is the resetting-counter value at or above
+	// which a covered instruction counts as confident (well-behaved).
+	ConfidenceThreshold uint8
+
+	// DedicatedSliceResources models §6.3's other variant: helper
+	// threads get their own fetch port and window partition instead of
+	// competing with the main thread, "eliminating execution overhead at
+	// the expense of additional hardware". Function units stay shared.
+	DedicatedSliceResources bool
+
+	Perfect Perfect
+
+	// MaxCycles is a runaway guard for Run.
+	MaxCycles uint64
+}
+
+// Config4Wide returns the paper's 4-wide machine (Table 1).
+func Config4Wide() Config {
+	return Config{
+		Name:                "4-wide",
+		FetchWidth:          4,
+		IssueWidth:          4,
+		CommitWidth:         4,
+		WindowSize:          128,
+		LdStPorts:           2,
+		ComplexUnits:        1,
+		FrontLatency:        12, // + issue + execute ⇒ 14-stage penalty
+		FetchQueueCap:       32,
+		ThreadContexts:      4,
+		MulLatency:          7,
+		DivLatency:          20,
+		Mem:                 cache.DefaultParams(),
+		MainFetchWeight:     2.0,
+		HelperWindowCap:     32,
+		HelperFetchQCap:     8,
+		ConfidenceThreshold: 12,
+		PredQueueDepth:      16,
+		MaxCycles:           1 << 62,
+	}
+}
+
+// Config8Wide returns the paper's 8-wide machine: a 256-entry window and 4
+// load/store ports (Table 1).
+func Config8Wide() Config {
+	c := Config4Wide()
+	c.Name = "8-wide"
+	c.FetchWidth = 8
+	c.IssueWidth = 8
+	c.CommitWidth = 8
+	c.WindowSize = 256
+	c.LdStPorts = 4
+	c.FetchQueueCap = 64
+	c.HelperWindowCap = 64
+	return c
+}

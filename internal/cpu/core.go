@@ -1,0 +1,222 @@
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/mem"
+	"repro/internal/slicehw"
+	"repro/internal/stats"
+)
+
+// Core is one simulated SMT processor.
+type Core struct {
+	Cfg   Config
+	mem   *mem.Memory
+	image *asm.Image
+	hier  *cache.Hierarchy
+
+	yags     *bpred.YAGS
+	indirect *bpred.Cascaded
+
+	threads []*Thread
+	main    *Thread
+
+	sliceTable *slicehw.Table
+	corr       *slicehw.Correlator
+	conf       *confidence
+	sliceRefs  map[*slicehw.Slice]*sliceRef
+
+	window       int // dispatched, unretired instructions (all threads)
+	helperWindow int // window entries held by helper threads
+	// mainStores are unretired main-thread stores, for committedRead.
+	mainStores []*DynInst
+	seq        uint64
+	now        uint64
+
+	mainHalted bool
+
+	// DebugWrongOverride, when non-nil, is called at retire for every
+	// branch whose slice-provided override was wrong (debugging aid).
+	DebugWrongOverride func(di *DynInst)
+	// DebugRetireBranch, when non-nil, is called as each conditional
+	// branch retires (debugging aid).
+	DebugRetireBranch func(di *DynInst)
+	// DebugLookup, when non-nil, is called at fetch right after each
+	// correlator lookup, while the thread's speculative registers still
+	// hold the branch's own iteration state (debugging aid).
+	DebugLookup func(di *DynInst)
+
+	S *stats.Sim
+}
+
+// New builds a core. sliceTable may be nil (no slice hardware). entry is
+// the main thread's starting PC.
+func New(cfg Config, image *asm.Image, memory *mem.Memory, entry uint64, sliceTable *slicehw.Table) (*Core, error) {
+	if cfg.ThreadContexts < 1 {
+		return nil, fmt.Errorf("cpu: need at least one thread context")
+	}
+	if _, ok := image.At(entry); !ok {
+		return nil, fmt.Errorf("cpu: entry %#x is not in the image", entry)
+	}
+	c := &Core{
+		Cfg:      cfg,
+		mem:      memory,
+		image:    image,
+		hier:     cache.NewHierarchy(cfg.Mem),
+		yags:     bpred.DefaultYAGS(),
+		indirect: bpred.DefaultCascaded(),
+		S:        stats.New(),
+	}
+	if sliceTable != nil {
+		c.sliceTable = sliceTable
+		c.corr = slicehw.NewCorrelator(cfg.PredQueueDepth)
+		c.conf = newConfidence(4096, cfg.ConfidenceThreshold)
+		c.sliceRefs = make(map[*slicehw.Slice]*sliceRef)
+		for _, s := range sliceTable.Slices() {
+			c.sliceRefs[s] = &sliceRef{
+				coveredBranches: s.CoveredBranchPCs(),
+				coveredLoads:    s.CoveredLoadPCs,
+			}
+		}
+	}
+	for i := 0; i < cfg.ThreadContexts; i++ {
+		c.threads = append(c.threads, newThread(i, 64))
+	}
+	c.main = c.threads[0]
+	c.main.IsMain = true
+	c.main.Alive = true
+	c.main.Fetching = true
+	c.main.PC = entry
+	return c, nil
+}
+
+// MustNew is New that panics (static setup in tests and workloads).
+func MustNew(cfg Config, image *asm.Image, memory *mem.Memory, entry uint64, st *slicehw.Table) *Core {
+	c, err := New(cfg, image, memory, entry, st)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Hier exposes the memory hierarchy (stats and tests).
+func (c *Core) Hier() *cache.Hierarchy { return c.hier }
+
+// Correlator exposes the prediction correlator (stats and tests).
+func (c *Core) Correlator() *slicehw.Correlator { return c.corr }
+
+// Main exposes the main thread (tests).
+func (c *Core) Main() *Thread { return c.main }
+
+// Now returns the current cycle.
+func (c *Core) Now() uint64 { return c.now }
+
+// ResetStats zeroes all counters while keeping caches, predictors, and
+// machine state warm — run a warm-up region, reset, then measure, like the
+// paper's 100M-instruction warm-up.
+func (c *Core) ResetStats() {
+	c.S = stats.New()
+	c.hier.Stats = cache.HierStats{}
+	c.hier.L1D.ResetStats()
+	c.hier.L1I.ResetStats()
+	c.hier.L2.ResetStats()
+	c.hier.PVB.ResetStats()
+	if c.corr != nil {
+		c.corr.Stats = slicehw.CorrStats{}
+	}
+}
+
+// Done reports whether the main thread has halted and drained.
+func (c *Core) Done() bool {
+	return c.mainHalted && len(c.main.rob) == 0 && len(c.main.fetchq) == 0
+}
+
+// Run simulates until the main thread has retired maxMainRetired more
+// instructions (counted from the last ResetStats), halted, or the cycle
+// guard fired. It returns the stats accumulated since the last reset.
+func (c *Core) Run(maxMainRetired uint64) *stats.Sim {
+	start := c.now
+	for {
+		if c.S.MainRetired >= maxMainRetired || c.Done() {
+			break
+		}
+		if c.now-start >= c.Cfg.MaxCycles {
+			break
+		}
+		c.now++
+		c.S.Cycles++
+		c.retireStage()
+		c.completeStage()
+		c.issueStage()
+		c.dispatchStage()
+		c.fetchStage()
+		c.hier.Tick(c.now)
+		c.reapHelpers()
+	}
+	return c.S
+}
+
+// dispatchStage moves fetched instructions into the window once they have
+// traversed the front end (FrontLatency cycles) and space exists.
+func (c *Core) dispatchStage() {
+	for _, t := range c.threads {
+		if !t.Alive {
+			continue
+		}
+		for len(t.fetchq) > 0 {
+			if t.IsMain || !c.Cfg.DedicatedSliceResources {
+				// Helpers share the window unless dedicated (§6.3).
+				if c.window >= c.Cfg.WindowSize {
+					break
+				}
+			}
+			if !t.IsMain && c.helperWindow >= c.Cfg.HelperWindowCap {
+				break // helpers may not starve the main thread of window space
+			}
+			di := t.fetchq[0]
+			if di.FetchCycle+c.Cfg.FrontLatency > c.now {
+				break
+			}
+			t.fetchq = t.fetchq[1:]
+			di.Dispatched = true
+			di.DispatchCycle = c.now
+			t.rob = append(t.rob, di)
+			if t.IsMain || !c.Cfg.DedicatedSliceResources {
+				c.window++
+			}
+			if !t.IsMain {
+				c.helperWindow++
+			}
+		}
+	}
+}
+
+// reapHelpers frees helper contexts that stopped fetching and drained.
+// Their correlator instances persist: predictions outlive the thread.
+func (c *Core) reapHelpers() {
+	for _, t := range c.threads {
+		if t.Alive && !t.IsMain && !t.Fetching && t.inflight() == 0 {
+			t.Alive = false
+		}
+	}
+}
+
+// idleThread returns a free helper context, or nil.
+func (c *Core) idleThread() *Thread {
+	for _, t := range c.threads {
+		if !t.IsMain && !t.Alive {
+			return t
+		}
+	}
+	return nil
+}
+
+func pushHist(hist uint64, taken bool) uint64 {
+	if taken {
+		return hist<<1 | 1
+	}
+	return hist << 1
+}

@@ -1,0 +1,364 @@
+package cpu
+
+import (
+	"repro/internal/bpred"
+	"repro/internal/isa"
+	"repro/internal/slicehw"
+)
+
+// fetchStage selects one thread per cycle with an ICOUNT-like policy
+// biased toward the main thread (§4.1) and fetches up to FetchWidth
+// instructions along the predicted path, past taken branches (Table 1).
+// Each instruction is functionally executed as it is fetched.
+func (c *Core) fetchStage() {
+	t := c.chooseFetchThread()
+	if t == nil {
+		if c.Cfg.DedicatedSliceResources {
+			c.fetchDedicatedHelper(nil)
+		}
+		return
+	}
+	c.fetchFrom(t)
+	// With dedicated slice resources (§6.3), helpers have their own fetch
+	// port: one helper fetches every cycle without consuming the main
+	// thread's slot.
+	if c.Cfg.DedicatedSliceResources {
+		c.fetchDedicatedHelper(t)
+	}
+}
+
+// fetchDedicatedHelper fetches from the best eligible helper other than
+// the thread that already fetched this cycle.
+func (c *Core) fetchDedicatedHelper(already *Thread) {
+	var best *Thread
+	for _, t := range c.threads {
+		if t.IsMain || t == already || !t.Alive || !t.Fetching ||
+			t.icStallUntil > c.now || len(t.fetchq) >= c.fetchQCap(t) {
+			continue
+		}
+		if c.helperPGIStalled(t) {
+			continue
+		}
+		if best == nil || t.inflight() < best.inflight() {
+			best = t
+		}
+	}
+	if best != nil {
+		c.fetchFrom(best)
+	}
+}
+
+func (c *Core) fetchFrom(t *Thread) {
+	for n := 0; n < c.Cfg.FetchWidth; n++ {
+		if !t.Fetching || len(t.fetchq) >= c.fetchQCap(t) {
+			return
+		}
+		if t.icStallUntil > c.now {
+			return
+		}
+		pc := t.PC
+		if lat := c.hier.FetchAccess(pc, c.now); lat > 0 {
+			t.icStallUntil = c.now + lat
+			return
+		}
+		in, ok := c.image.At(pc)
+		if !ok {
+			// Fetch ran off the code image (a wrong path, or a slice
+			// falling off its end). Stop; a squash will restore Fetching.
+			t.Fetching = false
+			return
+		}
+		// Slice lifecycle at the PGI: a helper whose instance is done (its
+		// slice kill fired) terminates — later predictions would misalign
+		// the queue. A live helper stalls while the queue is full rather
+		// than dropping the prediction, for the same reason.
+		if !t.IsMain && c.sliceTable != nil && !c.Cfg.SlicePredictionsOff {
+			if ref, isPGI := c.sliceTable.PGIAt(pc); isPGI {
+				if t.Instance.Done() {
+					t.Fetching = false
+					return
+				}
+				if !c.corr.CanAllocate(ref.PGI.BranchPC) {
+					return
+				}
+			}
+		}
+		c.fetchOne(t, in, pc)
+	}
+}
+
+// helperPGIStalled reports whether a helper's next fetch is a PGI that
+// cannot allocate right now. It also retires helpers whose instance is
+// done (their slice kill fired; further predictions would misalign).
+func (c *Core) helperPGIStalled(t *Thread) bool {
+	if c.sliceTable == nil || c.Cfg.SlicePredictionsOff {
+		return false
+	}
+	ref, isPGI := c.sliceTable.PGIAt(t.PC)
+	if !isPGI {
+		return false
+	}
+	if t.Instance.Done() {
+		t.Fetching = false
+		return true
+	}
+	return !c.corr.CanAllocate(ref.PGI.BranchPC)
+}
+
+// fetchQCap returns the fetch-queue capacity for a thread.
+func (c *Core) fetchQCap(t *Thread) int {
+	if t.IsMain {
+		return c.Cfg.FetchQueueCap
+	}
+	return c.Cfg.HelperFetchQCap
+}
+
+// chooseFetchThread implements the biased ICOUNT policy. A thread that
+// cannot actually fetch this cycle (e.g. a helper stalled at a PGI whose
+// prediction queue is full) must not win the slot — it would starve the
+// main thread, whose kills are what drain that queue.
+func (c *Core) chooseFetchThread() *Thread {
+	var best *Thread
+	bestScore := 0.0
+	for _, t := range c.threads {
+		if !t.Alive || !t.Fetching || t.icStallUntil > c.now || len(t.fetchq) >= c.fetchQCap(t) {
+			continue
+		}
+		if !t.IsMain && c.helperPGIStalled(t) {
+			continue
+		}
+		w := 1.0
+		if t.IsMain {
+			w = c.Cfg.MainFetchWeight
+		}
+		score := float64(t.inflight()) / w
+		if best == nil || score < bestScore || (score == bestScore && t.IsMain) {
+			best, bestScore = t, score
+		}
+	}
+	return best
+}
+
+// fetchOne fetches, functionally executes, and predicts one instruction.
+func (c *Core) fetchOne(t *Thread, in *isa.Inst, pc uint64) {
+	di := &DynInst{Thread: t, Static: in, PC: pc, Seq: c.seq, FetchCycle: c.now}
+	c.seq++
+
+	if t.IsMain {
+		c.S.MainFetched++
+		c.sliceHooksAtFetch(di)
+	} else {
+		c.S.HelperFetched++
+		if c.sliceTable != nil {
+			if ref, ok := c.sliceTable.PGIAt(pc); ok && !c.Cfg.SlicePredictionsOff {
+				di.IsPGI = true
+				di.PGIRef = ref
+				di.AllocPred = c.corr.Allocate(t.Instance, ref.PGI.BranchPC)
+			}
+		}
+		// Helper-thread loop accounting against the slice's iteration
+		// bound (§3.2, slice termination).
+		if t.Slice != nil && pc == t.Slice.LoopBackPC {
+			t.LoopCount++
+			if t.LoopCount >= t.Slice.MaxLoops && t.Slice.MaxLoops > 0 {
+				c.S.HelperMaxIter++
+				t.Fetching = false // this back edge is the last
+			}
+		}
+	}
+
+	// Functional execution against the speculative state. Helper threads
+	// never store (§4.1): slices affect only microarchitectural state.
+	if !t.IsMain && in.IsStore() {
+		c.S.HelperStores++
+		di.Out = isa.Outcome{}
+	} else {
+		di.Out = isa.Execute(in, pc, execCtx{c, t, di})
+	}
+
+	// Register dependences and writer bookkeeping.
+	for _, src := range in.Sources() {
+		if w := t.lastWriter[src]; w != nil && !w.Completed {
+			di.deps[di.ndeps] = w
+			di.ndeps++
+		}
+	}
+	if dest, ok := in.Dest(); ok {
+		di.prevWriter = t.lastWriter[dest]
+		t.lastWriter[dest] = di
+	}
+	if in.IsStore() && t.IsMain {
+		t.pendingStores = append(t.pendingStores, di)
+		if di.undoMemValid {
+			c.noteMainStore(di)
+		}
+	}
+
+	// Control flow: predict, steer fetch, checkpoint.
+	nextPC := pc + isa.InstBytes
+	if in.IsCtrl() {
+		nextPC = c.predictCtrl(t, di)
+	} else if di.Out.Halt {
+		t.Fetching = false
+	} else if di.Out.Fault && !t.IsMain {
+		// Exceptions terminate slices (§3.2) — how pointer-chasing
+		// slices stop at a null dereference.
+		c.S.HelperFaults++
+		t.Fetching = false
+	} else if di.Out.Fork {
+		c.forkByIndex(di, di.Out.SliceIndex)
+	}
+
+	di.HistAfter = t.Hist
+	di.PathAfter = t.Path
+	di.RASAfter = t.RAS.Save()
+	di.LoopAfter = t.LoopCount
+
+	t.PC = nextPC
+	t.fetchq = append(t.fetchq, di)
+}
+
+// sliceHooksAtFetch services the slice table CAMs for a main-thread fetch:
+// forks and prediction kills (§4.2, §5.1).
+func (c *Core) sliceHooksAtFetch(di *DynInst) {
+	if c.sliceTable == nil {
+		return
+	}
+	pc := di.PC
+	for _, s := range c.sliceTable.ForksAt(pc) {
+		c.fork(di, s)
+	}
+	for _, s := range c.sliceTable.LoopKillsAt(pc) {
+		if rec := c.corr.KillLoop(s); rec != nil {
+			di.KillRecs = append(di.KillRecs, rec)
+		}
+	}
+	for _, s := range c.sliceTable.SliceKillsAt(pc) {
+		if rec := c.corr.KillSlice(s); rec != nil {
+			di.KillRecs = append(di.KillRecs, rec)
+		}
+	}
+}
+
+// fork activates a helper context for slice s, copying the live-in
+// registers from the main thread's speculative state (the register
+// communication of §4.3). If no context is idle the fork is ignored.
+func (c *Core) fork(di *DynInst, s *slicehw.Slice) {
+	// §6.3: gate the fork with confidence — don't pay slice overhead for
+	// problem instructions that are currently behaving well.
+	if c.Cfg.ConfidenceGatedForks && !c.sliceWorthForking(c.sliceRefs[s]) {
+		c.S.ForksGated++
+		return
+	}
+	h := c.idleThread()
+	if h == nil {
+		c.S.ForksIgnored++
+		return
+	}
+	c.S.Forks++
+	h.reset()
+	h.Alive = true
+	h.Fetching = true
+	h.PC = s.SlicePC
+	h.Slice = s
+	h.Instance = c.corr.NewInstance(s)
+	h.ForkInst = di
+	liveIns := make([]uint64, len(s.LiveIns))
+	for i, r := range s.LiveIns {
+		h.Regs[r] = di.Thread.Regs[r]
+		liveIns[i] = h.Regs[r]
+	}
+	h.Instance.Debug = liveIns
+	di.Forked = append(di.Forked, h)
+}
+
+// forkByIndex services an explicit FORK instruction.
+func (c *Core) forkByIndex(di *DynInst, idx int) {
+	if c.sliceTable == nil {
+		return
+	}
+	slices := c.sliceTable.Slices()
+	if idx < 0 || idx >= len(slices) {
+		return
+	}
+	c.fork(di, slices[idx])
+}
+
+// predictCtrl predicts a fetched control instruction and returns the next
+// fetch PC. It maintains speculative history, path, and RAS state.
+func (c *Core) predictCtrl(t *Thread, di *DynInst) uint64 {
+	in := di.Static
+	pc := di.PC
+
+	switch {
+	case in.IsCondBranch():
+		actual := di.Out.Taken
+		var pred bool
+		switch {
+		case t.IsMain && c.Cfg.Perfect.CoversBranch(pc):
+			pred = actual
+		case t.IsMain:
+			fallback := c.yags.Predict(pc, t.Hist)
+			pred = fallback
+			if c.corr != nil {
+				p, dir, override := c.corr.Lookup(pc, fallback, di)
+				di.UsedPred = p
+				di.UsedOverride = override
+				pred = dir
+				if c.DebugLookup != nil {
+					c.DebugLookup(di)
+				}
+			}
+		default:
+			// Helper threads use static prediction: backward taken,
+			// forward not taken. They never touch the shared tables.
+			pred = in.Imm < 0
+		}
+		di.PredTaken = pred
+		di.PredTarget = in.BranchTarget(pc) // perfect BTB for direct branches
+		di.Mispredicted = pred != actual
+		di.HistBefore = t.Hist
+		t.Hist = pushHist(t.Hist, pred)
+
+	case in.Op == isa.BR:
+		// Direct, unconditional: perfect with the perfect BTB.
+		di.PredTaken = true
+		di.PredTarget = di.Out.Target
+
+	case in.Op == isa.CALL:
+		di.PredTaken = true
+		di.PredTarget = di.Out.Target
+		t.RAS.Push(pc + isa.InstBytes)
+
+	case in.Op == isa.RET:
+		di.PredTaken = true
+		di.PredTarget = t.RAS.Pop()
+		di.Mispredicted = di.PredTarget != di.Out.Target
+
+	case in.Op == isa.JMP || in.Op == isa.CALLR:
+		di.PathBefore = t.Path
+		var pred uint64
+		if t.IsMain && c.Cfg.Perfect.CoversBranch(pc) {
+			pred = di.Out.Target
+		} else if t.IsMain {
+			pred = c.indirect.Predict(pc, t.Path)
+		} else {
+			pred = di.Out.Target // helpers: slices avoid indirects
+		}
+		di.PredTaken = true
+		di.PredTarget = pred
+		if pred == 0 {
+			// No prediction available: fetch stalls until resolution.
+			di.NoTargetPred = true
+			t.waitResolve = di
+			t.Fetching = false
+		} else {
+			di.Mispredicted = pred != di.Out.Target
+		}
+		t.Path = bpred.PushPath(t.Path, pred)
+		if in.Op == isa.CALLR {
+			t.RAS.Push(pc + isa.InstBytes)
+		}
+	}
+	return di.predictedNextPC()
+}

@@ -1,0 +1,62 @@
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// FuncState is the result of a functional (timing-free) run.
+type FuncState struct {
+	Regs    [isa.NumRegs]uint64
+	Retired uint64
+	Halted  bool
+	PC      uint64
+}
+
+type funcCtx struct {
+	regs *[isa.NumRegs]uint64
+	m    *mem.Memory
+}
+
+func (f funcCtx) Reg(r isa.Reg) uint64 {
+	if r == isa.Zero {
+		return 0
+	}
+	return f.regs[r]
+}
+
+func (f funcCtx) SetReg(r isa.Reg, v uint64) {
+	if r != isa.Zero {
+		f.regs[r] = v
+	}
+}
+
+func (f funcCtx) Load(addr uint64, size int) (uint64, bool)  { return f.m.Read(addr, size) }
+func (f funcCtx) Store(addr uint64, size int, v uint64) bool { return f.m.Write(addr, size, v) }
+
+// RunFunctional interprets the image architecturally — no pipeline, no
+// caches, no speculation. It is the reference model the out-of-order core
+// must match instruction-for-instruction, and the engine behind the
+// problem-instruction profiler's oracle counts.
+func RunFunctional(image *asm.Image, m *mem.Memory, entry uint64, maxInsts uint64) (FuncState, error) {
+	var st FuncState
+	st.PC = entry
+	ctx := funcCtx{regs: &st.Regs, m: m}
+	for st.Retired < maxInsts {
+		in, ok := image.At(st.PC)
+		if !ok {
+			return st, fmt.Errorf("cpu: functional run fell off the image at %#x after %d instructions", st.PC, st.Retired)
+		}
+		out := isa.Execute(in, st.PC, ctx)
+		st.Retired++
+		if out.Halt {
+			st.Halted = true
+			return st, nil
+		}
+		st.PC = out.NextPC(st.PC)
+	}
+	return st, nil
+}

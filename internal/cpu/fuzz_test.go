@@ -1,0 +1,152 @@
+package cpu
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// genProgram builds a random but guaranteed-terminating program: a counted
+// outer loop whose body mixes ALU ops, loads/stores into a private arena,
+// data-dependent forward branches, counted inner loops, and calls. This is
+// the differential fuzzer's input: the out-of-order core (with its wrong
+// paths, squashes, store forwarding, and write buffer) must match the
+// functional reference exactly on every one.
+func genProgram(rng *rand.Rand) (*asm.Image, uint64, func(m *mem.Memory)) {
+	const arena = 0x40000
+	b := asm.NewBuilder(0x1000)
+	b.Li(27, arena)
+	b.I(isa.LDI, 1, 0, int32(20+rng.Intn(60))) // outer count
+	b.Li(20, int64(rng.Uint64()>>1|1))         // rng state
+
+	b.Label("outer")
+	xor := func(st, tmp isa.Reg) {
+		b.I(isa.SLLI, tmp, st, 13)
+		b.R(isa.XOR, st, st, tmp)
+		b.I(isa.SRLI, tmp, st, 7)
+		b.R(isa.XOR, st, st, tmp)
+	}
+	xor(20, 9)
+
+	nBlocks := 3 + rng.Intn(5)
+	for blk := 0; blk < nBlocks; blk++ {
+		switch rng.Intn(6) {
+		case 0: // ALU chain
+			for i := 0; i < 2+rng.Intn(6); i++ {
+				rd := isa.Reg(2 + rng.Intn(8))
+				ra := isa.Reg(2 + rng.Intn(8))
+				rb := isa.Reg(2 + rng.Intn(8))
+				ops := []isa.Op{isa.ADD, isa.SUB, isa.XOR, isa.AND, isa.OR, isa.S4ADD, isa.MUL}
+				b.R(ops[rng.Intn(len(ops))], rd, ra, rb)
+			}
+		case 1: // store + load (forwarding pressure)
+			off := int32(rng.Intn(64)) * 8
+			rs := isa.Reg(2 + rng.Intn(8))
+			b.St(rs, off, 27)
+			b.Ld(isa.Reg(2+rng.Intn(8)), off, 27)
+		case 2: // data-dependent forward branch
+			lbl := b.PC() // unique label name from PC
+			name := lblName("skip", lbl)
+			b.I(isa.ANDI, 10, 20, int32(1<<uint(rng.Intn(3))))
+			b.B(isa.BEQ, 10, name)
+			for i := 0; i < 1+rng.Intn(4); i++ {
+				b.I(isa.ADDI, isa.Reg(2+rng.Intn(8)), isa.Reg(2+rng.Intn(8)), int32(rng.Intn(9)-4))
+			}
+			b.Label(name)
+		case 3: // counted inner loop
+			name := lblName("inner", b.PC())
+			b.I(isa.LDI, 11, 0, int32(1+rng.Intn(6)))
+			b.Label(name)
+			b.I(isa.ADDI, 12, 12, 7)
+			b.St(12, int32(rng.Intn(32))*8, 27)
+			b.I(isa.ADDI, 11, 11, -1)
+			b.B(isa.BGT, 11, name)
+		case 4: // call/return
+			fn := lblName("fn", b.PC())
+			after := lblName("after", b.PC())
+			b.Call(fn)
+			b.Br(after)
+			b.Label(fn)
+			b.R(isa.ADD, 13, 13, 20)
+			b.Ret()
+			b.Label(after)
+		case 5: // pointer-ish scattered load
+			b.I(isa.ANDI, 14, 20, 0x7F8)
+			b.R(isa.ADD, 14, 14, 27)
+			b.Ld(15, 0, 14)
+			b.R(isa.ADD, 16, 16, 15)
+		}
+	}
+	b.I(isa.ADDI, 1, 1, -1)
+	b.B(isa.BGT, 1, "outer")
+	b.Halt()
+	p := b.MustBuild()
+	im, err := asm.NewImage(p)
+	if err != nil {
+		panic(err)
+	}
+	init := func(m *mem.Memory) {
+		for i := uint64(0); i < 1024; i++ {
+			m.WriteU64(arena+i*8, i*0x9E37)
+		}
+	}
+	return im, p.Base, init
+}
+
+func lblName(prefix string, pc uint64) string {
+	const hexdigits = "0123456789abcdef"
+	buf := []byte(prefix)
+	for sh := 28; sh >= 0; sh -= 4 {
+		buf = append(buf, hexdigits[(pc>>uint(sh))&0xF])
+	}
+	return string(buf)
+}
+
+// TestFuzzDifferential runs many random programs on both engines and
+// requires exact architectural agreement (registers, retire counts).
+func TestFuzzDifferential(t *testing.T) {
+	n := 60
+	if testing.Short() {
+		n = 10
+	}
+	for seed := 0; seed < n; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		im, entry, init := genProgram(rng)
+
+		m1 := mem.New()
+		init(m1)
+		cfg := Config4Wide()
+		if seed%3 == 1 {
+			cfg = Config8Wide()
+		}
+		core := MustNew(cfg, im, m1, entry, nil)
+		core.Run(1 << 40)
+		if !core.Done() {
+			t.Fatalf("seed %d: did not halt", seed)
+		}
+
+		m2 := mem.New()
+		init(m2)
+		ref, err := RunFunctional(im, m2, entry, 1<<40)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if core.S.MainRetired != ref.Retired {
+			t.Fatalf("seed %d: retired %d vs %d", seed, core.S.MainRetired, ref.Retired)
+		}
+		for r := 1; r < isa.NumRegs; r++ {
+			if core.Main().Regs[r] != ref.Regs[r] {
+				t.Fatalf("seed %d: r%d = %#x vs %#x", seed, r, core.Main().Regs[r], ref.Regs[r])
+			}
+		}
+		// Memory must agree too: compare the arena.
+		for a := uint64(0x40000); a < 0x40000+1024*8; a += 8 {
+			if m1.ReadU64(a) != m2.ReadU64(a) {
+				t.Fatalf("seed %d: mem[%#x] = %#x vs %#x", seed, a, m1.ReadU64(a), m2.ReadU64(a))
+			}
+		}
+	}
+}

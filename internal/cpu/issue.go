@@ -1,0 +1,263 @@
+package cpu
+
+import (
+	"sort"
+
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/isa"
+)
+
+// issueStage selects ready instructions oldest-first across all threads,
+// subject to issue width, load/store ports, and the single complex unit
+// (Table 1). Scheduling happens in the cycle an instruction executes,
+// which — as the paper notes — is equivalent to a perfect load hit/miss
+// predictor: dependents of a missing load are simply not scheduled early.
+func (c *Core) issueStage() {
+	var cand []*DynInst
+	for _, t := range c.threads {
+		if !t.Alive {
+			continue
+		}
+		for _, di := range t.rob {
+			if di.Dispatched && !di.Issued && !di.Squashed && c.ready(di) {
+				cand = append(cand, di)
+			}
+		}
+	}
+	sort.Slice(cand, func(i, j int) bool { return cand[i].Seq < cand[j].Seq })
+
+	issued, memUsed, cplxUsed := 0, 0, 0
+	for _, di := range cand {
+		if issued == c.Cfg.IssueWidth {
+			break
+		}
+		switch {
+		case di.Static.IsMem():
+			if memUsed == c.Cfg.LdStPorts {
+				continue
+			}
+			memUsed++
+		case di.Static.IsComplex():
+			if cplxUsed == c.Cfg.ComplexUnits {
+				continue
+			}
+			cplxUsed++
+		}
+		c.issue(di)
+		issued++
+	}
+}
+
+// ready reports whether all of di's producers have completed and, for
+// loads, whether older stores are disambiguated.
+func (c *Core) ready(di *DynInst) bool {
+	for i := 0; i < di.ndeps; i++ {
+		d := di.deps[i]
+		if !d.Completed || d.CompleteCycle > c.now {
+			return false
+		}
+	}
+	if di.Static.IsLoad() && di.Thread.IsMain {
+		// Real disambiguation: every older store's address must be known
+		// (i.e., the store must have issued).
+		for _, s := range di.Thread.pendingStores {
+			if s.Seq < di.Seq && !s.Squashed && !s.Issued {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// issue starts execution and computes the completion time.
+func (c *Core) issue(di *DynInst) {
+	di.Issued = true
+	di.IssueCycle = c.now
+	in := di.Static
+
+	switch {
+	case in.IsLoad():
+		di.CompleteCycle = c.now + c.loadLatency(di)
+	case in.IsStore():
+		// Address generation; data heads to memory at retire.
+		di.CompleteCycle = c.now + 1
+		c.unpend(di)
+	case in.IsComplex():
+		lat := c.Cfg.MulLatency
+		if in.Op == isa.DIV {
+			lat = c.Cfg.DivLatency
+		}
+		di.CompleteCycle = c.now + lat
+	default:
+		di.CompleteCycle = c.now + 1
+	}
+}
+
+// unpend removes an issued store from the disambiguation list.
+func (c *Core) unpend(di *DynInst) {
+	ps := di.Thread.pendingStores
+	for i, s := range ps {
+		if s == di {
+			di.Thread.pendingStores = append(ps[:i:i], ps[i+1:]...)
+			return
+		}
+	}
+}
+
+// loadLatency runs the load through forwarding, the perfect-load modes,
+// and the cache hierarchy.
+func (c *Core) loadLatency(di *DynInst) uint64 {
+	latL1 := c.Cfg.Mem.LatL1
+	if di.Out.Fault {
+		return latL1
+	}
+	if di.Thread.IsMain && c.Cfg.Perfect.CoversLoad(di.PC) {
+		di.PerfectLoad = true
+		return latL1
+	}
+
+	// Store→load forwarding from in-flight stores of the same thread.
+	if di.Thread.IsMain {
+		if s := c.forwardingStore(di); s != nil {
+			di.forwarded = true
+			lat := latL1
+			if s.CompleteCycle > c.now {
+				lat = s.CompleteCycle - c.now + 1
+			}
+			return lat
+		}
+	}
+
+	kind := cache.KindDemand
+	if !di.Thread.IsMain {
+		kind = cache.KindHelper
+	}
+	r := c.hier.Access(di.Out.Addr, false, kind, c.now)
+	di.MemResult = r
+	if kind == cache.KindHelper && (r.Level == cache.LevelL2 || r.Level == cache.LevelMem) {
+		// The helper load actually moved a line toward the L1 — a
+		// "prefetch performed" in Table 4's terms.
+		c.S.SlicePrefetches++
+	}
+	return r.Latency
+}
+
+// forwardingStore returns the youngest older in-flight store overlapping
+// the load, if any.
+func (c *Core) forwardingStore(di *DynInst) *DynInst {
+	var best *DynInst
+	for _, s := range di.Thread.rob {
+		if s.Seq >= di.Seq {
+			break
+		}
+		if !s.Static.IsStore() || s.Squashed || !s.Issued || s.Out.Fault {
+			continue
+		}
+		if overlaps(s.Out.Addr, s.Out.Size, di.Out.Addr, di.Out.Size) {
+			if best == nil || s.Seq > best.Seq {
+				best = s
+			}
+		}
+	}
+	return best
+}
+
+func overlaps(a uint64, an int, b uint64, bn int) bool {
+	return a < b+uint64(bn) && b < a+uint64(an)
+}
+
+// completeStage finalizes instructions whose completion time arrived:
+// branch resolution (with squash and redirect), PGI value routing to the
+// correlator, and late-prediction early resolution (§5.3).
+func (c *Core) completeStage() {
+	var done []*DynInst
+	for _, t := range c.threads {
+		if !t.Alive {
+			continue
+		}
+		for _, di := range t.rob {
+			if di.Issued && !di.Completed && !di.Squashed && di.CompleteCycle <= c.now {
+				done = append(done, di)
+			}
+		}
+	}
+	sort.Slice(done, func(i, j int) bool { return done[i].Seq < done[j].Seq })
+
+	for _, di := range done {
+		if di.Squashed {
+			continue // an older completion this cycle squashed it
+		}
+		di.Completed = true
+		if di.Static.IsCtrl() {
+			c.resolveCtrl(di)
+		}
+		if di.IsPGI && di.AllocPred != nil {
+			c.fillPGI(di)
+		}
+	}
+}
+
+// resolveCtrl handles branch resolution at execute.
+func (c *Core) resolveCtrl(di *DynInst) {
+	t := di.Thread
+	if di.NoTargetPred {
+		// The front end stalled for this target; deliver it.
+		c.squashAfter(di)
+		t.PC = di.actualNextPC()
+		t.waitResolve = nil
+		t.Fetching = true
+		return
+	}
+	if !di.Mispredicted {
+		return
+	}
+	c.squashAfter(di)
+	// Correct the speculative front-end state past this branch.
+	if di.Static.IsCondBranch() {
+		t.Hist = pushHist(di.HistBefore, di.Out.Taken)
+	}
+	if di.Static.IsIndirectCtrl() && !di.Static.IsRet() {
+		t.Path = bpred.PushPath(di.PathBefore, di.Out.Target)
+	}
+	di.HistAfter = t.Hist
+	di.PathAfter = t.Path
+	t.PC = di.actualNextPC()
+	t.Fetching = true
+	// The branch is now resolved; do not re-trigger recovery.
+	di.PredTaken = di.Out.Taken
+	di.PredTarget = di.Out.Target
+}
+
+// fillPGI routes a computed prediction to the correlator and performs
+// early resolution when a late prediction contradicts the direction its
+// consumer fetched with.
+func (c *Core) fillPGI(di *DynInst) {
+	val := di.Out.Value
+	dir := val != 0
+	if di.PGIRef.PGI.TakenIfZero {
+		dir = val == 0
+	}
+	res := c.corr.Fill(di.AllocPred, dir)
+	if !res.LateMismatch {
+		return
+	}
+	consumer, ok := res.Consumer.(*DynInst)
+	if !ok || consumer.Squashed || consumer.Completed || consumer.Retired {
+		return
+	}
+	// Early resolution: redirect the consumer's fetch to the slice's
+	// direction before the branch executes. Slices are not necessarily
+	// correct, so this can introduce extra squashes; those are repaired
+	// when the branch resolves (§5.3).
+	c.S.EarlyResolutions++
+	t := consumer.Thread
+	c.squashAfter(consumer)
+	consumer.PredTaken = dir
+	consumer.Mispredicted = dir != consumer.Out.Taken
+	t.Hist = pushHist(consumer.HistBefore, dir)
+	consumer.HistAfter = t.Hist
+	t.PC = consumer.predictedNextPC()
+	t.Fetching = true
+	c.corr.RedirectUse(consumer.UsedPred, dir)
+}

@@ -1,0 +1,131 @@
+package cpu
+
+import "repro/internal/isa"
+
+// retireStage commits completed instructions in order, main thread first.
+// Predictor training, PDE attribution, and store write-back all happen
+// here, on the architecturally correct path only.
+func (c *Core) retireStage() {
+	retired := 0
+	// Main first, then helpers (helper "retirement" just drains the
+	// window; slices have no architectural state).
+	for _, t := range c.threadsMainFirst() {
+		if !t.Alive {
+			continue
+		}
+		for retired < c.Cfg.CommitWidth && len(t.rob) > 0 {
+			di := t.rob[0]
+			if !di.Completed || di.CompleteCycle > c.now {
+				break
+			}
+			if t.IsMain && di.Static.IsStore() && !di.Out.Fault {
+				if !c.hier.StoreRetire(di.Out.Addr, c.now) {
+					c.S.RetireStalls++
+					break // write buffer full; retry next cycle
+				}
+			}
+			t.rob = t.rob[1:]
+			c.retireInst(di)
+			retired++
+		}
+	}
+}
+
+func (c *Core) threadsMainFirst() []*Thread {
+	// threads[0] is always the main thread.
+	return c.threads
+}
+
+func (c *Core) retireInst(di *DynInst) {
+	di.Retired = true
+	t := di.Thread
+	if t.IsMain || !c.Cfg.DedicatedSliceResources {
+		c.window--
+	}
+	if !t.IsMain {
+		c.helperWindow--
+	}
+
+	if !t.IsMain {
+		c.S.HelperRetired++
+		return
+	}
+
+	c.S.MainRetired++
+	in := di.Static
+	pc := di.PC
+	st := c.S.ByPC(pc)
+	st.Execs++
+
+	switch {
+	case in.IsLoad():
+		st.IsLoad = true
+		c.S.Loads++
+		miss := !di.forwarded && !di.PerfectLoad && !di.Out.Fault &&
+			di.MemResult.Latency > c.Cfg.Mem.LatL1
+		if miss {
+			st.Misses++
+			c.S.LoadMisses++
+		}
+		if c.conf != nil {
+			c.conf.observe(pc, miss)
+		}
+		if di.MemResult.HelperCovered {
+			c.S.MissesCovered++
+		}
+
+	case in.IsCondBranch():
+		if c.DebugRetireBranch != nil {
+			c.DebugRetireBranch(di)
+		}
+		st.IsBranch = true
+		c.S.Branches++
+		if di.Out.Taken {
+			st.Taken++
+		}
+		if di.Mispredicted {
+			st.Mispredicts++
+			c.S.Mispredicts++
+		}
+		if c.conf != nil {
+			c.conf.observe(pc, di.Mispredicted)
+		}
+		// Train the conventional predictor with the true history.
+		if !c.Cfg.Perfect.CoversBranch(pc) {
+			c.yags.Update(pc, di.HistBefore, di.Out.Taken)
+		}
+		// Slice-prediction accounting (Table 4).
+		if di.UsedPred != nil && di.UsedOverride {
+			c.S.PredsUsed++
+			if di.UsedPred.UsedDir == di.Out.Taken {
+				c.S.PredsCorrect++
+			} else {
+				c.S.PredsIncorrect++
+				if c.DebugWrongOverride != nil {
+					c.DebugWrongOverride(di)
+				}
+			}
+		}
+		if di.UsedPred != nil && !di.UsedOverride {
+			c.S.PredsLateUsed++
+		}
+
+	case in.Op == isa.JMP || in.Op == isa.CALLR:
+		c.S.IndirectJumps++
+		if di.Mispredicted || di.NoTargetPred {
+			c.S.IndirectMisses++
+		}
+		if !c.Cfg.Perfect.CoversBranch(pc) {
+			c.indirect.Update(pc, di.PathBefore, di.Out.Target)
+		}
+
+	case di.Out.Halt:
+		c.mainHalted = true
+	}
+
+	if c.corr != nil {
+		for _, rec := range di.KillRecs {
+			c.corr.CommitKill(rec)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package cpu
+
+// squashAfter removes every instruction of di's thread younger than di,
+// undoing functional side effects (youngest first), correlator actions,
+// and helper forks. The thread's speculative front-end state is restored
+// from di's post-instruction checkpoint.
+func (c *Core) squashAfter(di *DynInst) {
+	t := di.Thread
+
+	// The fetch queue holds the youngest instructions.
+	for i := len(t.fetchq) - 1; i >= 0; i-- {
+		if t.fetchq[i].Seq <= di.Seq {
+			break
+		}
+		c.squashInst(t.fetchq[i])
+		t.fetchq = t.fetchq[:i]
+	}
+	for i := len(t.rob) - 1; i >= 0; i-- {
+		if t.rob[i].Seq <= di.Seq {
+			break
+		}
+		c.squashInst(t.rob[i])
+		t.rob = t.rob[:i]
+	}
+
+	// Drop squashed stores from the disambiguation list.
+	ps := t.pendingStores[:0]
+	for _, s := range t.pendingStores {
+		if !s.Squashed {
+			ps = append(ps, s)
+		}
+	}
+	t.pendingStores = ps
+
+	// Restore speculative front-end state to just after di.
+	t.Hist = di.HistAfter
+	t.Path = di.PathAfter
+	t.RAS.Restore(di.RASAfter)
+	t.LoopCount = di.LoopAfter
+	t.icStallUntil = 0
+	if t.waitResolve != nil && t.waitResolve.Seq > di.Seq {
+		t.waitResolve = nil
+	}
+}
+
+// squashInst tears down one instruction: functional undo, correlator undo
+// (exact mis-speculation recovery, §5.2), and squashing of helper threads
+// it forked.
+func (c *Core) squashInst(x *DynInst) {
+	if x.Squashed {
+		return
+	}
+	x.Squashed = true
+	x.undo(c)
+
+	if c.corr != nil {
+		if x.UsedPred != nil {
+			c.corr.UndoUse(x.UsedPred)
+		}
+		for i := len(x.KillRecs) - 1; i >= 0; i-- {
+			c.corr.UndoKill(x.KillRecs[i])
+		}
+		if x.AllocPred != nil {
+			c.corr.UndoAllocate(x.AllocPred)
+		}
+	}
+	for _, h := range x.Forked {
+		c.squashHelper(h)
+	}
+	if x.Dispatched {
+		if x.Thread.IsMain || !c.Cfg.DedicatedSliceResources {
+			c.window--
+		}
+		if !x.Thread.IsMain {
+			c.helperWindow--
+		}
+	}
+	if x.Thread.IsMain {
+		c.S.MainWrongPath++
+	}
+}
+
+// squashHelper kills a helper thread whose fork point was squashed: all of
+// its instructions are undone, its correlator instance (and thus all its
+// predictions) removed, and the context freed.
+func (c *Core) squashHelper(h *Thread) {
+	if !h.Alive {
+		return
+	}
+	c.S.ForksSquashed++
+	for i := len(h.fetchq) - 1; i >= 0; i-- {
+		c.squashInst(h.fetchq[i])
+	}
+	for i := len(h.rob) - 1; i >= 0; i-- {
+		c.squashInst(h.rob[i])
+	}
+	if c.corr != nil {
+		c.corr.RemoveInstance(h.Instance)
+	}
+	h.fetchq = h.fetchq[:0]
+	h.rob = h.rob[:0]
+	h.Alive = false
+	h.Fetching = false
+}

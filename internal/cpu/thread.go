@@ -1,0 +1,137 @@
+package cpu
+
+import (
+	"repro/internal/bpred"
+	"repro/internal/isa"
+	"repro/internal/slicehw"
+)
+
+// Thread is one hardware context. The main thread runs the program; helper
+// contexts run speculative slices. Regs is the *speculative* architectural
+// state maintained at fetch by the execute-at-fetch model; squashes rewind
+// it through the undo logs.
+type Thread struct {
+	ID     int
+	IsMain bool
+	Alive  bool
+	// Fetching is false once the thread stopped issuing new fetches
+	// (HALT, slice termination, or waiting on an unpredicted indirect
+	// target). Squashes may re-enable it.
+	Fetching bool
+
+	PC   uint64
+	Regs [isa.NumRegs]uint64
+
+	// Speculative front-end state.
+	Hist uint64
+	Path uint64
+	RAS  *bpred.RAS
+
+	fetchq     []*DynInst
+	rob        []*DynInst
+	lastWriter [isa.NumRegs]*DynInst
+	// pendingStores are fetched-but-unissued stores (address unknown) for
+	// load disambiguation.
+	pendingStores []*DynInst
+
+	// waitResolve is the unpredicted indirect branch fetch is stalled on.
+	waitResolve *DynInst
+
+	// icStallUntil stalls fetch on an instruction-cache miss.
+	icStallUntil uint64
+
+	// Helper-thread state.
+	Slice     *slicehw.Slice
+	Instance  *slicehw.Instance
+	LoopCount int
+	ForkInst  *DynInst
+	// terminated marks a helper that ended for a non-speculative reason
+	// (HALT on the committed path can't happen for helpers — they have no
+	// committed path — so termination is always re-derivable; Fetching is
+	// simply re-enabled on squash and the terminating condition, if real,
+	// re-fires).
+}
+
+func newThread(id int, rasEntries int) *Thread {
+	return &Thread{ID: id, RAS: bpred.NewRAS(rasEntries)}
+}
+
+// inflight returns the thread's in-flight instruction count (ICOUNT).
+func (t *Thread) inflight() int { return len(t.fetchq) + len(t.rob) }
+
+// reset clears the context for reuse as a helper.
+func (t *Thread) reset() {
+	t.Regs = [isa.NumRegs]uint64{}
+	t.Hist, t.Path = 0, 0
+	t.fetchq = t.fetchq[:0]
+	t.rob = t.rob[:0]
+	t.lastWriter = [isa.NumRegs]*DynInst{}
+	t.pendingStores = t.pendingStores[:0]
+	t.waitResolve = nil
+	t.icStallUntil = 0
+	t.Slice = nil
+	t.Instance = nil
+	t.LoopCount = 0
+	t.ForkInst = nil
+}
+
+// execCtx adapts a (core, thread, dyninst) triple to isa.State, recording
+// undo information on the instruction as side effects happen.
+type execCtx struct {
+	c  *Core
+	t  *Thread
+	di *DynInst
+}
+
+func (e execCtx) Reg(r isa.Reg) uint64 {
+	if r == isa.Zero {
+		return 0
+	}
+	return e.t.Regs[r]
+}
+
+func (e execCtx) SetReg(r isa.Reg, v uint64) {
+	if r == isa.Zero {
+		return
+	}
+	e.di.undoRegValid = true
+	e.di.undoReg = r
+	e.di.undoRegVal = e.t.Regs[r]
+	e.t.Regs[r] = v
+}
+
+func (e execCtx) Load(addr uint64, size int) (uint64, bool) {
+	if !e.t.IsMain {
+		// Helper threads see the *committed* memory image: a real SMT's
+		// store buffer is private to the main thread until retirement, so
+		// slices never observe wrong-path stores (which would poison
+		// their predictions and prefetches).
+		return e.c.committedRead(addr, size)
+	}
+	return e.c.mem.Read(addr, size)
+}
+
+func (e execCtx) Store(addr uint64, size int, v uint64) bool {
+	old, _ := e.c.mem.Read(addr, size)
+	e.di.undoMemValid = true
+	e.di.undoMemAddr = addr
+	e.di.undoMemSize = size
+	e.di.undoMemVal = old
+	return e.c.mem.Write(addr, size, v)
+}
+
+// undo reverses the functional side effects of one instruction. Callers
+// must undo instructions youngest-first within a thread.
+func (d *DynInst) undo(c *Core) {
+	if d.undoMemValid {
+		c.mem.Write(d.undoMemAddr, d.undoMemSize, d.undoMemVal)
+		d.undoMemValid = false
+	}
+	if d.undoRegValid {
+		d.Thread.Regs[d.undoReg] = d.undoRegVal
+		d.undoRegValid = false
+	}
+	if dest, ok := d.Static.Dest(); ok && d.Thread.lastWriter[dest] == d {
+		d.Thread.lastWriter[dest] = d.prevWriter
+	}
+}

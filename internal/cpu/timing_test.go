@@ -1,0 +1,168 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// These tests pin the Table 1 timing facts the experiments depend on.
+
+// runTiming runs a small halting kernel and returns cycles.
+func runTiming(t *testing.T, cfg Config, build func(b *asm.Builder), init func(m *mem.Memory)) *Core {
+	t.Helper()
+	im, entry := buildImage(t, build)
+	m := mem.New()
+	if init != nil {
+		init(m)
+	}
+	core := MustNew(cfg, im, m, entry, nil)
+	core.Run(1 << 40)
+	if !core.Done() {
+		t.Fatal("did not halt")
+	}
+	return core
+}
+
+// TestSerialLoadChainLatency: a dependent chain of N L1-hit loads must cost
+// ≈ N × LatL1 cycles — the 3-cycle load-to-use latency of Table 1.
+func TestSerialLoadChainLatency(t *testing.T) {
+	const n = 400
+	const base = 0x20000
+	init := func(m *mem.Memory) {
+		// A self-referencing pointer cycle within one cache line pair.
+		m.WriteU64(base, base+8)
+		m.WriteU64(base+8, base)
+	}
+	core := runTiming(t, Config4Wide(), func(b *asm.Builder) {
+		b.Li(1, base)
+		// Warm the two lines.
+		b.Ld(1, 0, 1)
+		b.I(isa.LDI, 2, 0, n)
+		b.Label("loop")
+		b.Ld(1, 0, 1) // serial dependent load
+		b.I(isa.ADDI, 2, 2, -1)
+		b.B(isa.BGT, 2, "loop")
+		b.Halt()
+	}, init)
+	perIter := float64(core.S.Cycles) / n
+	if perIter < 2.5 || perIter > 4.5 {
+		t.Errorf("serial L1 load chain costs %.2f cycles/load, want ≈3", perIter)
+	}
+}
+
+// TestMulDivLatencies: the complex unit's latencies are architectural.
+func TestMulDivLatencies(t *testing.T) {
+	run := func(op isa.Op) uint64 {
+		core := runTiming(t, Config4Wide(), func(b *asm.Builder) {
+			b.I(isa.LDI, 1, 0, 300)
+			b.I(isa.LDI, 2, 0, 3)
+			b.Label("loop")
+			b.R(op, 2, 2, 2) // serial dependent chain
+			b.I(isa.ADDI, 1, 1, -1)
+			b.B(isa.BGT, 1, "loop")
+			b.Halt()
+		}, nil)
+		return core.S.Cycles
+	}
+	mul := float64(run(isa.MUL)) / 300
+	div := float64(run(isa.DIV)) / 300
+	if mul < 6 || mul > 9 {
+		t.Errorf("serial MUL chain %.1f cycles/op, want ≈7", mul)
+	}
+	if div < 18 || div > 23 {
+		t.Errorf("serial DIV chain %.1f cycles/op, want ≈20", div)
+	}
+}
+
+// TestLoadStorePortLimit: with 2 ports, >2 independent loads per cycle must
+// throttle to 2/cycle.
+func TestLoadStorePortLimit(t *testing.T) {
+	const base = 0x20000
+	core := runTiming(t, Config4Wide(), func(b *asm.Builder) {
+		b.Li(1, base)
+		b.I(isa.LDI, 2, 0, 500)
+		// Warm the line.
+		b.Ld(3, 0, 1)
+		b.Label("loop")
+		b.Ld(3, 0, 1)
+		b.Ld(4, 8, 1)
+		b.Ld(5, 16, 1)
+		b.Ld(6, 24, 1)
+		b.I(isa.ADDI, 2, 2, -1)
+		b.B(isa.BGT, 2, "loop")
+		b.Halt()
+	}, func(m *mem.Memory) { m.WriteU64(base, 1) })
+	// 6 instructions per iteration, 4 loads limited to 2/cycle → ≥2
+	// cycles per iteration from ports alone.
+	perIter := float64(core.S.Cycles) / 500
+	if perIter < 1.9 {
+		t.Errorf("4 loads/iteration ran at %.2f cycles/iter; 2 ports must throttle to ≥2", perIter)
+	}
+	// The 8-wide machine has 4 ports: the same kernel runs faster.
+	core8 := runTiming(t, Config8Wide(), func(b *asm.Builder) {
+		b.Li(1, base)
+		b.I(isa.LDI, 2, 0, 500)
+		b.Ld(3, 0, 1)
+		b.Label("loop")
+		b.Ld(3, 0, 1)
+		b.Ld(4, 8, 1)
+		b.Ld(5, 16, 1)
+		b.Ld(6, 24, 1)
+		b.I(isa.ADDI, 2, 2, -1)
+		b.B(isa.BGT, 2, "loop")
+		b.Halt()
+	}, func(m *mem.Memory) { m.WriteU64(base, 1) })
+	if core8.S.Cycles >= core.S.Cycles {
+		t.Errorf("4 ports (%d cycles) not faster than 2 (%d)", core8.S.Cycles, core.S.Cycles)
+	}
+}
+
+// TestWindowBoundsMemoryParallelism: independent memory-latency loads are
+// limited by window size: the 256-entry window must overlap more misses
+// than the 128-entry one.
+func TestWindowBoundsMemoryParallelism(t *testing.T) {
+	build := func(b *asm.Builder) {
+		b.Li(1, 0x400000)
+		b.I(isa.LDI, 2, 0, 300)
+		b.Label("loop")
+		// Independent far-apart loads (defeat the stream prefetcher).
+		b.Ld(3, 0, 1)
+		b.I(isa.ADDI, 1, 1, 4160) // 65*64: non-unit line stride
+		b.I(isa.ADDI, 2, 2, -1)
+		b.B(isa.BGT, 2, "loop")
+		b.Halt()
+	}
+	c4 := runTiming(t, Config4Wide(), build, nil)
+	c8 := runTiming(t, Config8Wide(), build, nil)
+	if float64(c8.S.Cycles) > float64(c4.S.Cycles)*0.85 {
+		t.Errorf("bigger window barely helped: %d vs %d cycles", c8.S.Cycles, c4.S.Cycles)
+	}
+}
+
+// TestStoreLoadForwardingLatency: a load from a just-stored address must
+// not pay a memory round trip.
+func TestStoreLoadForwardingLatency(t *testing.T) {
+	const base = 0x600000 // cold region: without forwarding this would miss
+	core := runTiming(t, Config4Wide(), func(b *asm.Builder) {
+		b.Li(1, base)
+		b.I(isa.LDI, 2, 0, 200)
+		b.Label("loop")
+		b.St(2, 0, 1)
+		b.Ld(3, 0, 1) // forwarded
+		b.R(isa.ADD, 4, 4, 3)
+		b.I(isa.ADDI, 1, 1, 64)
+		b.I(isa.ADDI, 2, 2, -1)
+		b.B(isa.BGT, 2, "loop")
+		b.Halt()
+	}, nil)
+	perIter := float64(core.S.Cycles) / 200
+	if perIter > 20 {
+		t.Errorf("store→load pairs cost %.1f cycles/iter; forwarding broken?", perIter)
+	}
+	if core.S.LoadMisses > 10 {
+		t.Errorf("%d forwarded loads counted as misses", core.S.LoadMisses)
+	}
+}

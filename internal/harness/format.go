@@ -1,0 +1,179 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+)
+
+func table(write func(w *tabwriter.Writer)) string {
+	var sb strings.Builder
+	w := tabwriter.NewWriter(&sb, 2, 4, 2, ' ', 0)
+	write(w)
+	w.Flush()
+	return sb.String()
+}
+
+// bar renders a crude horizontal bar for figure-style output.
+func bar(v, max float64, width int) string {
+	if max <= 0 {
+		return ""
+	}
+	n := int(v / max * float64(width))
+	if n < 0 {
+		n = 0
+	}
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n)
+}
+
+// FormatTable2 renders Table 2.
+func FormatTable2(rows []Table2Row) string {
+	return "Table 2. Coverage of performance degrading events by problem instructions.\n" +
+		table(func(w *tabwriter.Writer) {
+			fmt.Fprintln(w, "program\t#SI\tmem%\tmis%\t#SI\tbr%\tmis%")
+			for _, r := range rows {
+				fmt.Fprintf(w, "%s\t%d\t%.0f%%\t%.0f%%\t%d\t%.0f%%\t%.0f%%\n",
+					r.Program, r.MemSI, r.MemPct, r.MisPct, r.BrSI, r.BrPct, r.BrMis)
+			}
+		})
+}
+
+// FormatFigure1 renders Figure 1 as grouped IPC bars.
+func FormatFigure1(rows []Figure1Row) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 1. IPC: baseline, problem-instructions-perfect, all-perfect (4- and 8-wide).\n")
+	max := 0.0
+	for _, r := range rows {
+		for i := 0; i < 2; i++ {
+			if r.AllPerf[i] > max {
+				max = r.AllPerf[i]
+			}
+		}
+	}
+	sb.WriteString(table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "program\twidth\tbaseline\tprob.perfect\tall perfect\t")
+		for _, r := range rows {
+			for i, width := range []string{"4", "8"} {
+				fmt.Fprintf(w, "%s\t%s\t%.2f\t%.2f\t%.2f\t%s\n",
+					r.Program, width, r.Base[i], r.ProbPerf[i], r.AllPerf[i],
+					bar(r.AllPerf[i], max, 30))
+			}
+		}
+	}))
+	return sb.String()
+}
+
+// FormatTable3 renders Table 3.
+func FormatTable3(rows []Table3Row) string {
+	return "Table 3. Characterization of slices (loop portion in parentheses).\n" +
+		table(func(w *tabwriter.Writer) {
+			fmt.Fprintln(w, "prog\tslice\tstatic size\tlive-ins\tpref\tpred\tkills\tmax iter")
+			for _, r := range rows {
+				static := fmt.Sprintf("%d", r.Static)
+				if r.Loop > 0 {
+					static = fmt.Sprintf("%d (%d)", r.Static, r.Loop)
+				}
+				maxIter := "—"
+				if r.MaxIter > 0 {
+					maxIter = fmt.Sprintf("%d", r.MaxIter)
+				}
+				fmt.Fprintf(w, "%s\t%s\t%s\t%d\t%d\t%d\t%d\t%s\n",
+					r.Program, r.Slice, static, r.LiveIns, r.Pref, r.Pred, r.Kills, maxIter)
+			}
+		})
+}
+
+// FormatFigure11 renders Figure 11 as speedup bars.
+func FormatFigure11(rows []Figure11Row) string {
+	var sb strings.Builder
+	sb.WriteString("Figure 11. Speedup of slice-assisted execution and the constrained limit study (4-wide).\n")
+	max := 0.0
+	for _, r := range rows {
+		if r.LimitSpeedup > max {
+			max = r.LimitSpeedup
+		}
+		if r.SliceSpeedup > max {
+			max = r.SliceSpeedup
+		}
+	}
+	sb.WriteString(table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "program\tbase IPC\tslice%\tlimit%\t")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%.2f\tslice %+6.1f%%\t%s\n", r.Program, r.BaseIPC, r.SliceSpeedup, bar(r.SliceSpeedup, max, 30))
+			fmt.Fprintf(w, "\t\tlimit %+6.1f%%\t%s\n", r.LimitSpeedup, bar(r.LimitSpeedup, max, 30))
+		}
+	}))
+	return sb.String()
+}
+
+// FormatTable4 renders Table 4 with programs as columns, like the paper.
+func FormatTable4(cols []Table4Col) string {
+	var sb strings.Builder
+	sb.WriteString("Table 4. Program execution with and without speculative slices.\n")
+	rows := []struct {
+		label string
+		get   func(c Table4Col) string
+	}{
+		{"Program insts fetched (base)", func(c Table4Col) string { return fmt.Sprintf("%d", c.BaseFetched) }},
+		{"Branch mispredictions (base)", func(c Table4Col) string { return fmt.Sprintf("%d", c.BaseMispredicts) }},
+		{"Load misses (base)", func(c Table4Col) string { return fmt.Sprintf("%d", c.BaseLoadMisses) }},
+		{"Program insts fetched (+slices)", func(c Table4Col) string { return fmt.Sprintf("%d", c.SliceProgFetched) }},
+		{"Slice insts fetched", func(c Table4Col) string { return fmt.Sprintf("%d", c.SliceInstsFetched) }},
+		{"Slice insts retired", func(c Table4Col) string { return fmt.Sprintf("%d", c.SliceInstsRetired) }},
+		{"Fork points", func(c Table4Col) string { return fmt.Sprintf("%d", c.Forks) }},
+		{"Fork points squashed", func(c Table4Col) string { return fmt.Sprintf("%d", c.ForksSquashed) }},
+		{"Fork points ignored", func(c Table4Col) string { return fmt.Sprintf("%d", c.ForksIgnored) }},
+		{"Problem branches covered", func(c Table4Col) string { return fmt.Sprintf("%d", c.BranchesCovered) }},
+		{"Predictions matched", func(c Table4Col) string { return fmt.Sprintf("%d", c.PredsGenerated) }},
+		{"Mispredictions covered", func(c Table4Col) string { return fmt.Sprintf("%d", c.MispCovered) }},
+		{"Mispredictions removed", func(c Table4Col) string { return fmt.Sprintf("%d (%.0f%%)", c.MispRemoved, c.MispRemovedPct) }},
+		{"Incorrect predictions", func(c Table4Col) string { return fmt.Sprintf("%d", c.IncorrectPreds) }},
+		{"Late predictions", func(c Table4Col) string { return fmt.Sprintf("%.0f%%", c.LatePct) }},
+		{"Early resolutions", func(c Table4Col) string { return fmt.Sprintf("%d", c.EarlyResolutions) }},
+		{"Problem loads covered", func(c Table4Col) string { return fmt.Sprintf("%d", c.LoadsCovered) }},
+		{"Prefetches performed", func(c Table4Col) string { return fmt.Sprintf("%d", c.Prefetches) }},
+		{"Cache misses covered", func(c Table4Col) string { return fmt.Sprintf("%d", c.MissesCovered) }},
+		{"Net miss reduction", func(c Table4Col) string { return fmt.Sprintf("%d (%.0f%%)", c.MissReduction, c.MissReductionPct) }},
+		{"Speedup", func(c Table4Col) string { return fmt.Sprintf("%.1f%%", c.SpeedupPct) }},
+		{"Fraction of speedup from loads", func(c Table4Col) string { return fmt.Sprintf("~%.0f%%", c.FracFromLoads*100) }},
+	}
+	sb.WriteString(table(func(w *tabwriter.Writer) {
+		fmt.Fprint(w, "metric")
+		for _, c := range cols {
+			fmt.Fprintf(w, "\t%s", c.Program)
+		}
+		fmt.Fprintln(w)
+		for _, r := range rows {
+			fmt.Fprint(w, r.label)
+			for _, c := range cols {
+				fmt.Fprintf(w, "\t%s", r.get(c))
+			}
+			fmt.Fprintln(w)
+		}
+	}))
+	return sb.String()
+}
+
+// FormatTable1 renders the machine parameters (Table 1) of a config.
+func FormatTable1() string {
+	return `Table 1. Simulated machine parameters.
+Front end   64KB I-cache; 64Kb YAGS direction predictor; 32Kb cascading
+            indirect predictor; 64-entry return address stack; perfect BTB
+            for direct branches; fetch past taken branches.
+Core        4-wide: 128-entry window, 2 load/store ports, 1 complex unit,
+            14-stage misprediction penalty. 8-wide: 256-entry window,
+            4 load/store ports.
+Caches      L1D 64KB 2-way 64B lines, 3-cycle; L2 2MB 4-way 128B lines,
+            +6-cycle; memory +100-cycle minimum; write-back write-allocate;
+            retired-store write buffer.
+Prefetch    64-entry unified prefetch/victim buffer probed in parallel with
+            the L1; stream prefetcher with unit-stride detection (±) and
+            sequential next-block prefetch when bandwidth is available.
+Slices      4 thread contexts (1 main + 3 helpers); ICOUNT fetch biased to
+            the main thread; slice/PGI tables at fetch; 64-branch
+            correlator with 16 predictions per branch.
+`
+}

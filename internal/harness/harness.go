@@ -1,0 +1,337 @@
+// Package harness drives the paper's experiments end to end: it runs the
+// workloads under the right machine configurations and produces the rows
+// of Table 2 (problem-instruction coverage), Figure 1 (perfect-mode IPCs),
+// Table 3 (slice characterization), Figure 11 (slice vs limit speedups),
+// and Table 4 (detailed slice-execution statistics).
+package harness
+
+import (
+	"repro/internal/cpu"
+	"repro/internal/profile"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// Params selects region lengths and machine width.
+type Params struct {
+	// Scale multiplies each workload's suggested warm-up and measurement
+	// regions (1.0 = the defaults; benchmarks use smaller values).
+	Scale float64
+}
+
+func (p Params) regions(w *workloads.Workload) (warm, run uint64) {
+	s := p.Scale
+	if s <= 0 {
+		s = 1
+	}
+	warm = uint64(float64(w.SuggestedWarmup) * s)
+	run = uint64(float64(w.SuggestedRun) * s)
+	if warm < 10_000 {
+		warm = 10_000
+	}
+	if run < 20_000 {
+		run = 20_000
+	}
+	return
+}
+
+// runOnce runs one workload region under cfg, with or without its slices,
+// and returns the measured stats and the core (for hierarchy/correlator
+// counters).
+func runOnce(w *workloads.Workload, cfg cpu.Config, withSlices bool, warm, run uint64) (*cpu.Core, *stats.Sim) {
+	var core *cpu.Core
+	if withSlices {
+		core = cpu.MustNew(cfg, w.Image, w.NewMemory(), w.Entry, w.SliceTable())
+	} else {
+		core = cpu.MustNew(cfg, w.Image, w.NewMemory(), w.Entry, nil)
+	}
+	core.Run(warm)
+	core.ResetStats()
+	s := core.Run(run)
+	return core, s
+}
+
+// profileProblems runs a baseline region and classifies its problem
+// instructions.
+func profileProblems(w *workloads.Workload, cfg cpu.Config, p Params) profile.Result {
+	warm, run := p.regions(w)
+	_, s := runOnce(w, cfg, false, warm, run)
+	return profile.Characterize(s, profile.DefaultOptions(run))
+}
+
+// --- Table 2 ---
+
+// Table2Row is one workload's problem-instruction coverage.
+type Table2Row struct {
+	Program string
+	MemSI   int
+	MemPct  float64 // % of dynamic memory ops that are problem loads
+	MisPct  float64 // % of load misses covered
+	BrSI    int
+	BrPct   float64 // % of dynamic branches that are problem branches
+	BrMis   float64 // % of mispredictions covered
+}
+
+// Table2 reproduces the paper's Table 2 for the given workloads.
+func Table2(ws []*workloads.Workload, p Params) []Table2Row {
+	var rows []Table2Row
+	for _, w := range ws {
+		r := profileProblems(w, cpu.Config4Wide(), p)
+		rows = append(rows, Table2Row{
+			Program: w.Name,
+			MemSI:   r.MemSI,
+			MemPct:  r.MemFrac * 100,
+			MisPct:  r.MissCoverage * 100,
+			BrSI:    r.BrSI,
+			BrPct:   r.BrFrac * 100,
+			BrMis:   r.MispredCoverage * 100,
+		})
+	}
+	return rows
+}
+
+// --- Figure 1 ---
+
+// Figure1Row holds the three IPC bars for one workload and width.
+type Figure1Row struct {
+	Program                 string
+	Base, ProbPerf, AllPerf [2]float64 // index 0: 4-wide, 1: 8-wide
+}
+
+// Figure1 reproduces Figure 1: baseline, problem-instructions-perfect, and
+// all-perfect IPC on the 4- and 8-wide machines.
+func Figure1(ws []*workloads.Workload, p Params) []Figure1Row {
+	var rows []Figure1Row
+	for _, w := range ws {
+		row := Figure1Row{Program: w.Name}
+		for wi, mk := range []func() cpu.Config{cpu.Config4Wide, cpu.Config8Wide} {
+			warm, run := p.regions(w)
+			prob := profileProblems(w, mk(), p)
+
+			base := mk()
+			_, sb := runOnce(w, base, false, warm, run)
+			row.Base[wi] = sb.IPC()
+
+			probCfg := mk()
+			probCfg.Perfect = cpu.Perfect{LoadPCs: prob.LoadPCs, BranchPCs: prob.BranchPCs}
+			_, sp := runOnce(w, probCfg, false, warm, run)
+			row.ProbPerf[wi] = sp.IPC()
+
+			perfCfg := mk()
+			perfCfg.Perfect = cpu.Perfect{AllBranches: true, AllLoads: true}
+			_, sa := runOnce(w, perfCfg, false, warm, run)
+			row.AllPerf[wi] = sa.IPC()
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// --- Table 3 ---
+
+// Table3Row characterizes one constructed slice (static metadata).
+type Table3Row struct {
+	Program string
+	Slice   string
+	Static  int // static size (loop portion in parentheses in the paper)
+	Loop    int
+	LiveIns int
+	Pref    int // problem loads prefetched
+	Pred    int // problem branches predicted
+	Kills   int
+	MaxIter int
+}
+
+// Table3 reproduces the slice characterization table from the workloads'
+// hand-constructed slices.
+func Table3(ws []*workloads.Workload) []Table3Row {
+	var rows []Table3Row
+	for _, w := range ws {
+		for _, sl := range w.Slices {
+			rows = append(rows, Table3Row{
+				Program: w.Name,
+				Slice:   sl.Name,
+				Static:  sl.StaticSize,
+				Loop:    sl.LoopSize,
+				LiveIns: len(sl.LiveIns),
+				Pref:    len(sl.CoveredLoadPCs),
+				Pred:    len(sl.CoveredBranchPCs()),
+				Kills:   sl.KillCount(),
+				MaxIter: sl.MaxLoops,
+			})
+		}
+	}
+	return rows
+}
+
+// --- Figure 11 ---
+
+// Figure11Row holds the slice and constrained-limit speedups for one
+// workload on the 4-wide machine.
+type Figure11Row struct {
+	Program      string
+	BaseIPC      float64
+	SliceIPC     float64
+	LimitIPC     float64
+	SliceSpeedup float64 // percent
+	LimitSpeedup float64 // percent
+}
+
+// coveredPerfect builds the perfect-mode PC sets for the constrained limit
+// study: exactly the problem instructions the workload's slices cover.
+func coveredPerfect(w *workloads.Workload) cpu.Perfect {
+	p := cpu.Perfect{LoadPCs: map[uint64]bool{}, BranchPCs: map[uint64]bool{}}
+	for _, sl := range w.Slices {
+		for _, pc := range sl.CoveredLoadPCs {
+			p.LoadPCs[pc] = true
+		}
+		for _, pc := range sl.CoveredBranchPCs() {
+			p.BranchPCs[pc] = true
+		}
+	}
+	return p
+}
+
+// Figure11 reproduces Figure 11: speedup of slice-assisted execution and
+// of "magically" perfecting the same problem instructions.
+func Figure11(ws []*workloads.Workload, p Params) []Figure11Row {
+	var rows []Figure11Row
+	for _, w := range ws {
+		warm, run := p.regions(w)
+		cfg := cpu.Config4Wide()
+		_, base := runOnce(w, cfg, false, warm, run)
+		_, sl := runOnce(w, cfg, true, warm, run)
+		limCfg := cpu.Config4Wide()
+		limCfg.Perfect = coveredPerfect(w)
+		_, lim := runOnce(w, limCfg, false, warm, run)
+
+		rows = append(rows, Figure11Row{
+			Program:      w.Name,
+			BaseIPC:      base.IPC(),
+			SliceIPC:     sl.IPC(),
+			LimitIPC:     lim.IPC(),
+			SliceSpeedup: (float64(base.Cycles)/float64(sl.Cycles) - 1) * 100,
+			LimitSpeedup: (float64(base.Cycles)/float64(lim.Cycles) - 1) * 100,
+		})
+	}
+	return rows
+}
+
+// --- Table 4 ---
+
+// Table4Col is the detailed characterization of one program with and
+// without slices (one column of the paper's Table 4).
+type Table4Col struct {
+	Program string
+
+	// Base run.
+	BaseFetched     uint64
+	BaseMispredicts uint64
+	BaseLoadMisses  uint64
+	BaseCycles      uint64
+
+	// Base + slices run.
+	SliceProgFetched  uint64
+	SliceInstsFetched uint64
+	SliceInstsRetired uint64
+	Forks             uint64
+	ForksSquashed     uint64
+	ForksIgnored      uint64
+
+	BranchesCovered  int // static problem branches covered by slices
+	PredsGenerated   uint64
+	MispCovered      uint64 // base mispredictions at covered branch PCs
+	MispRemoved      int64  // base mispredicts − slice mispredicts
+	MispRemovedPct   float64
+	IncorrectPreds   uint64
+	LatePct          float64
+	EarlyResolutions uint64
+
+	LoadsCovered     int // static problem loads covered by slices
+	Prefetches       uint64
+	MissesCovered    uint64 // base misses at covered load PCs
+	MissReduction    int64
+	MissReductionPct float64
+
+	SliceCycles uint64
+	SpeedupPct  float64
+	// FracFromLoads estimates the share of the speedup due to
+	// prefetching, measured by re-running with PGI allocation disabled.
+	FracFromLoads float64
+}
+
+// Table4 reproduces the paper's Table 4 on the 4-wide machine.
+func Table4(ws []*workloads.Workload, p Params) []Table4Col {
+	var cols []Table4Col
+	for _, w := range ws {
+		warm, run := p.regions(w)
+		cfg := cpu.Config4Wide()
+		_, base := runOnce(w, cfg, false, warm, run)
+		_, sl := runOnce(w, cfg, true, warm, run)
+		prefCfg := cpu.Config4Wide()
+		prefCfg.SlicePredictionsOff = true
+		_, pref := runOnce(w, prefCfg, true, warm, run)
+
+		cov := coveredPerfect(w)
+		var mispCov, missCov uint64
+		for pc := range cov.BranchPCs {
+			if st, ok := base.Static[pc]; ok {
+				mispCov += st.Mispredicts
+			}
+		}
+		for pc := range cov.LoadPCs {
+			if st, ok := base.Static[pc]; ok {
+				missCov += st.Misses
+			}
+		}
+
+		col := Table4Col{
+			Program:           w.Name,
+			BaseFetched:       base.MainFetched,
+			BaseMispredicts:   base.Mispredicts,
+			BaseLoadMisses:    base.LoadMisses,
+			BaseCycles:        base.Cycles,
+			SliceProgFetched:  sl.MainFetched,
+			SliceInstsFetched: sl.HelperFetched,
+			SliceInstsRetired: sl.HelperRetired,
+			Forks:             sl.Forks,
+			ForksSquashed:     sl.ForksSquashed,
+			ForksIgnored:      sl.ForksIgnored,
+			BranchesCovered:   len(cov.BranchPCs),
+			PredsGenerated:    sl.PredsUsed + sl.PredsLateUsed,
+			MispCovered:       mispCov,
+			MispRemoved:       int64(base.Mispredicts) - int64(sl.Mispredicts),
+			IncorrectPreds:    sl.PredsIncorrect,
+			EarlyResolutions:  sl.EarlyResolutions,
+			LoadsCovered:      len(cov.LoadPCs),
+			Prefetches:        sl.SlicePrefetches,
+			MissesCovered:     missCov,
+			MissReduction:     int64(base.LoadMisses) - int64(sl.LoadMisses),
+			SliceCycles:       sl.Cycles,
+		}
+		if base.Mispredicts > 0 {
+			col.MispRemovedPct = float64(col.MispRemoved) / float64(base.Mispredicts) * 100
+		}
+		if used := sl.PredsUsed + sl.PredsLateUsed; used > 0 {
+			col.LatePct = float64(sl.PredsLateUsed) / float64(used) * 100
+		}
+		if base.LoadMisses > 0 {
+			col.MissReductionPct = float64(col.MissReduction) / float64(base.LoadMisses) * 100
+		}
+		col.SpeedupPct = (float64(base.Cycles)/float64(sl.Cycles) - 1) * 100
+		total := float64(base.Cycles) - float64(sl.Cycles)
+		fromLoads := float64(base.Cycles) - float64(pref.Cycles)
+		if total > 0 {
+			frac := fromLoads / total
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			col.FracFromLoads = frac
+		}
+		cols = append(cols, col)
+	}
+	return cols
+}

@@ -1,0 +1,78 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// SSA-64 instructions encode to a fixed 64-bit word:
+//
+//	bits 63..56  opcode
+//	bits 55..48  rd
+//	bits 47..40  ra
+//	bits 39..32  rb
+//	bits 31..0   signed immediate
+//
+// The architectural PC still advances by InstBytes (4) per instruction —
+// encoded program images are only used for storage, golden tests, and the
+// disassembler CLI, not for fetch (the simulator fetches decoded
+// instructions, like a trace cache would).
+
+// EncodedBytes is the size of one encoded instruction word.
+const EncodedBytes = 8
+
+// Encode packs in into its 64-bit encoding.
+func Encode(in *Inst) uint64 {
+	return uint64(in.Op)<<56 |
+		uint64(in.Rd)<<48 |
+		uint64(in.Ra)<<40 |
+		uint64(in.Rb)<<32 |
+		uint64(uint32(in.Imm))
+}
+
+// Decode unpacks a 64-bit encoding. It returns an error for undefined
+// opcodes or out-of-range register numbers.
+func Decode(w uint64) (Inst, error) {
+	in := Inst{
+		Op:  Op(w >> 56),
+		Rd:  Reg(w >> 48),
+		Ra:  Reg(w >> 40),
+		Rb:  Reg(w >> 32),
+		Imm: int32(uint32(w)),
+	}
+	if !in.Op.Valid() {
+		return Inst{}, fmt.Errorf("isa: invalid opcode %d", uint8(w>>56))
+	}
+	if in.Rd >= NumRegs || in.Ra >= NumRegs || in.Rb >= NumRegs {
+		return Inst{}, fmt.Errorf("isa: register out of range in %#x", w)
+	}
+	return in, nil
+}
+
+// EncodeProgram encodes a sequence of instructions to little-endian bytes.
+func EncodeProgram(insts []Inst) []byte {
+	out := make([]byte, 0, len(insts)*EncodedBytes)
+	var buf [EncodedBytes]byte
+	for i := range insts {
+		binary.LittleEndian.PutUint64(buf[:], Encode(&insts[i]))
+		out = append(out, buf[:]...)
+	}
+	return out
+}
+
+// DecodeProgram decodes a little-endian byte image produced by
+// EncodeProgram.
+func DecodeProgram(img []byte) ([]Inst, error) {
+	if len(img)%EncodedBytes != 0 {
+		return nil, fmt.Errorf("isa: image length %d not a multiple of %d", len(img), EncodedBytes)
+	}
+	out := make([]Inst, 0, len(img)/EncodedBytes)
+	for off := 0; off < len(img); off += EncodedBytes {
+		in, err := Decode(binary.LittleEndian.Uint64(img[off:]))
+		if err != nil {
+			return nil, fmt.Errorf("isa: at offset %d: %w", off, err)
+		}
+		out = append(out, in)
+	}
+	return out, nil
+}

@@ -1,0 +1,155 @@
+package mem
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	m := New()
+	for _, size := range []int{1, 2, 4, 8} {
+		addr := uint64(0x10000 + size*64)
+		v := uint64(0x1122334455667788) & (1<<(8*size) - 1)
+		if size == 8 {
+			v = 0x1122334455667788
+		}
+		if !m.Write(addr, size, v) {
+			t.Fatalf("write size %d failed", size)
+		}
+		got, ok := m.Read(addr, size)
+		if !ok || got != v {
+			t.Errorf("size %d: got %#x ok=%v, want %#x", size, got, ok, v)
+		}
+	}
+}
+
+func TestNullPageFaults(t *testing.T) {
+	m := New()
+	if m.SetByte(0, 1) {
+		t.Error("write to address 0 must fail")
+	}
+	if m.SetByte(PageSize-1, 1) {
+		t.Error("write to null page must fail")
+	}
+	if _, ok := m.Byte(100); ok {
+		t.Error("read of null page must fail")
+	}
+	if v, ok := m.Read(8, 8); ok || v != 0 {
+		t.Error("word read of null page must fail with zero value")
+	}
+	if m.Mapped(100) {
+		t.Error("null page must never be mapped")
+	}
+}
+
+func TestUnmappedReadsAsZero(t *testing.T) {
+	m := New()
+	v, ok := m.Read(0x500000, 8)
+	if ok {
+		t.Error("unmapped read must report not-ok")
+	}
+	if v != 0 {
+		t.Errorf("unmapped read value = %#x", v)
+	}
+}
+
+func TestCrossPageAccess(t *testing.T) {
+	m := New()
+	addr := uint64(2*PageSize - 4) // straddles a page boundary
+	want := uint64(0xAABBCCDDEEFF0011)
+	if !m.Write(addr, 8, want) {
+		t.Fatal("cross-page write failed")
+	}
+	got, ok := m.Read(addr, 8)
+	if !ok || got != want {
+		t.Errorf("cross-page read = %#x ok=%v", got, ok)
+	}
+}
+
+func TestWriteBytesReadBytes(t *testing.T) {
+	m := New()
+	data := make([]byte, 3*PageSize+17)
+	rng := rand.New(rand.NewSource(3))
+	rng.Read(data)
+	base := uint64(0x40000)
+	m.WriteBytes(base, data)
+	got := m.ReadBytes(base, len(data))
+	if !bytes.Equal(got, data) {
+		t.Error("WriteBytes/ReadBytes mismatch")
+	}
+}
+
+func TestFootprint(t *testing.T) {
+	m := New()
+	if m.Footprint() != 0 {
+		t.Error("fresh memory has nonzero footprint")
+	}
+	m.SetByte(0x10000, 1)
+	m.SetByte(0x10001, 1) // same page
+	if m.Footprint() != PageSize {
+		t.Errorf("footprint = %d", m.Footprint())
+	}
+	m.SetByte(0x20000, 1)
+	if m.Footprint() != 2*PageSize {
+		t.Errorf("footprint = %d", m.Footprint())
+	}
+}
+
+func TestReadsDoNotMaterializePages(t *testing.T) {
+	m := New()
+	m.Read(0x90000, 8)
+	m.Byte(0x90010)
+	if m.Footprint() != 0 {
+		t.Error("reads materialized a page")
+	}
+}
+
+// Property: a write followed by a read of the same (addr, size) returns the
+// value truncated to size bytes, for all valid addresses.
+func TestQuickWriteReadConsistency(t *testing.T) {
+	m := New()
+	f := func(addrSeed uint32, sizeSel uint8, v uint64) bool {
+		size := []int{1, 2, 4, 8}[sizeSel%4]
+		addr := uint64(addrSeed)%(1<<24) + PageSize // avoid null page
+		if !m.Write(addr, size, v) {
+			return false
+		}
+		got, ok := m.Read(addr, size)
+		want := v
+		if size < 8 {
+			want = v & (1<<(8*size) - 1)
+		}
+		return ok && got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: memory behaves identically to a reference map[uint64]byte under
+// random interleavings of byte writes and word reads.
+func TestQuickReferenceModel(t *testing.T) {
+	m := New()
+	ref := make(map[uint64]byte)
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 50000; i++ {
+		addr := uint64(rng.Intn(1<<16)) + PageSize
+		if rng.Intn(2) == 0 {
+			b := byte(rng.Intn(256))
+			m.SetByte(addr, b)
+			ref[addr] = b
+		} else {
+			size := []int{1, 2, 4, 8}[rng.Intn(4)]
+			got, _ := m.Read(addr, size)
+			var want uint64
+			for j := 0; j < size; j++ {
+				want |= uint64(ref[addr+uint64(j)]) << (8 * j)
+			}
+			if got != want {
+				t.Fatalf("read(%#x,%d) = %#x, want %#x", addr, size, got, want)
+			}
+		}
+	}
+}

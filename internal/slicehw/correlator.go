@@ -1,0 +1,536 @@
+package slicehw
+
+// This file implements the prediction correlator of §5 (Figure 10). Each
+// problem branch owns a queue of prediction entries. Entries are allocated
+// when a PGI is fetched (Empty), filled when it executes (Full), matched to
+// main-thread branch instances at fetch, and deallocated only by kills —
+// main-thread instructions whose fetch proves the intended branch instance
+// can no longer be reached. Every mutation returns an undo handle the CPU
+// attaches to the acting instruction so a squash restores the correlator
+// exactly (§5.2), and a prediction arriving after its branch was fetched is
+// handled as a late prediction with optional early resolution (§5.3).
+
+// PredState is the lifecycle state of Figure 10's per-prediction "state".
+type PredState uint8
+
+// Prediction states.
+const (
+	PredEmpty PredState = iota // allocated at PGI fetch, value pending
+	PredFull                   // value computed, unconsumed
+	PredLate                   // consumed while Empty; value still pending
+)
+
+// Pred is one prediction entry.
+type Pred struct {
+	BranchPC uint64
+	// Filled/Dir: the computed prediction once the PGI executes.
+	Filled bool
+	Dir    bool
+	// Used/UsedDir: set when a fetched branch instance matched this
+	// entry; UsedDir is the direction that instance actually fetched
+	// with (the slice's direction when Full, the conventional
+	// predictor's when Empty/Late).
+	Used    bool
+	UsedDir bool
+	// Consumer is CPU-owned context for the matched branch (the VN# field
+	// of Figure 10; the CPU stores its dynamic instruction handle here).
+	Consumer any
+	// Killed marks the entry dead pending the killer's retirement.
+	Killed bool
+
+	inst    *Instance
+	removed bool
+}
+
+// Instance returns the slice activation that generated this prediction.
+func (p *Pred) Instance() *Instance { return p.inst }
+
+// IndexInInstance returns this prediction's allocation position within its
+// instance (debugging).
+func (p *Pred) IndexInInstance() int {
+	for i, e := range p.inst.entries {
+		if e == p {
+			return i
+		}
+	}
+	return -1
+}
+
+// Entries returns the instance's predictions in allocation order
+// (debugging).
+func (i *Instance) Entries() []*Pred { return i.entries }
+
+// State derives the Figure 10 state field.
+func (p *Pred) State() PredState {
+	switch {
+	case p.Used && !p.Filled:
+		return PredLate
+	case p.Filled:
+		return PredFull
+	default:
+		return PredEmpty
+	}
+}
+
+// Instance is one dynamic activation of a slice (one fork).
+type Instance struct {
+	ID    uint64
+	Slice *Slice
+	// skipLoopKill counts pending first-instance loop-kill exemptions.
+	skipLoopKill int
+	// skipSliceKill counts pending slice-kill exemptions (slices hoisted
+	// one outer iteration ahead survive the first slice kill they see).
+	skipSliceKill int
+	entries       []*Pred
+	finished      bool
+	removed       bool
+
+	// Debug is CPU-owned context (e.g. fork-time live-in values) used by
+	// debugging hooks; the correlator never touches it.
+	Debug any
+}
+
+// Done reports whether the instance can no longer contribute predictions
+// (its slice kill fired, or its fork was squashed). A helper thread whose
+// instance is done terminates at its next PGI: predictions allocated after
+// the slice kill would mis-align the queue against future instances.
+func (i *Instance) Done() bool { return i == nil || i.finished || i.removed }
+
+type queue struct {
+	branchPC uint64
+	entries  []*Pred
+}
+
+// CorrStats counts correlator events for Table 4.
+type CorrStats struct {
+	Generated     uint64 // predictions allocated (PGI fetches)
+	Filled        uint64
+	Overrides     uint64 // branch fetches that used a Full prediction
+	LateMatches   uint64 // branch fetches that matched an Empty entry
+	LateMismatch  uint64 // late fills disagreeing with the used direction
+	LoopKills     uint64
+	SliceKills    uint64
+	KillNoTarget  uint64 // kill fetched with nothing to kill
+	QueueFull     uint64 // allocation dropped
+	UndoneKills   uint64
+	UndoneUses    uint64
+	UndoneAllocs  uint64
+	InstanceDrops uint64 // instances removed by fork squash
+}
+
+// Correlator is the branch-queue array of Figure 10.
+type Correlator struct {
+	queues       map[uint64]*queue
+	maxPerBranch int
+	liveBySlice  map[*Slice][]*Instance
+	nextID       uint64
+
+	// Trace, when non-nil, receives one call per correlator event — a
+	// debugging aid used by tests and the slicesim -trace flag.
+	Trace func(event string, args ...any)
+
+	Stats CorrStats
+}
+
+func (c *Correlator) trace(event string, args ...any) {
+	if c.Trace != nil {
+		c.Trace(event, args...)
+	}
+}
+
+// NewCorrelator builds a correlator allowing maxPerBranch in-flight
+// predictions per problem branch (8 in Figure 10).
+func NewCorrelator(maxPerBranch int) *Correlator {
+	return &Correlator{
+		queues:       make(map[uint64]*queue),
+		maxPerBranch: maxPerBranch,
+		liveBySlice:  make(map[*Slice][]*Instance),
+	}
+}
+
+func (c *Correlator) queueFor(branchPC uint64) *queue {
+	q := c.queues[branchPC]
+	if q == nil {
+		q = &queue{branchPC: branchPC}
+		c.queues[branchPC] = q
+	}
+	return q
+}
+
+// NewInstance registers a fork of s and returns its instance handle.
+func (c *Correlator) NewInstance(s *Slice) *Instance {
+	c.nextID++
+	inst := &Instance{ID: c.nextID, Slice: s}
+	if s.LoopKillSkipFirst {
+		inst.skipLoopKill = 1
+	}
+	if s.SliceKillSkipFirst {
+		inst.skipSliceKill = 1
+	}
+	c.liveBySlice[s] = append(c.liveBySlice[s], inst)
+	c.trace("fork", s.Name, inst.ID)
+	return inst
+}
+
+// RemoveInstance tears an instance down (fork squashed or helper thread
+// reclaimed after its predictions were all killed). All its entries leave
+// their queues immediately.
+func (c *Correlator) RemoveInstance(inst *Instance) {
+	if inst == nil || inst.removed {
+		return
+	}
+	inst.removed = true
+	c.Stats.InstanceDrops++
+	c.trace("rm-instance", inst.Slice.Name, inst.ID)
+	for _, p := range inst.entries {
+		c.removePred(p)
+	}
+	live := c.liveBySlice[inst.Slice]
+	for i, li := range live {
+		if li == inst {
+			c.liveBySlice[inst.Slice] = append(live[:i:i], live[i+1:]...)
+			break
+		}
+	}
+}
+
+func (c *Correlator) removePred(p *Pred) {
+	if p.removed {
+		return
+	}
+	p.removed = true
+	q := c.queues[p.BranchPC]
+	if q == nil {
+		return
+	}
+	for i, e := range q.entries {
+		if e == p {
+			q.entries = append(q.entries[:i:i], q.entries[i+1:]...)
+			return
+		}
+	}
+}
+
+// CanAllocate reports whether branchPC's queue has room. The CPU stalls a
+// helper thread's fetch at a PGI whose queue is full instead of dropping
+// the prediction — a drop would permanently misalign the queue against
+// the branch instances it is meant to cover.
+func (c *Correlator) CanAllocate(branchPC uint64) bool {
+	q := c.queues[branchPC]
+	return q == nil || len(q.entries) < c.maxPerBranch
+}
+
+// Allocate creates an Empty entry for branchPC on behalf of inst (PGI
+// fetch). It returns nil when the branch queue is full or the instance is
+// gone; the prediction is then simply dropped, like a CAM allocation
+// failure in hardware.
+func (c *Correlator) Allocate(inst *Instance, branchPC uint64) *Pred {
+	if inst.Done() {
+		return nil
+	}
+	q := c.queueFor(branchPC)
+	if len(q.entries) >= c.maxPerBranch {
+		c.Stats.QueueFull++
+		return nil
+	}
+	p := &Pred{BranchPC: branchPC, inst: inst}
+	q.entries = append(q.entries, p)
+	inst.entries = append(inst.entries, p)
+	c.Stats.Generated++
+	c.trace("alloc", branchPC, inst.ID, len(q.entries))
+	return p
+}
+
+// UndoAllocate reverses Allocate (the PGI's fetch was squashed).
+func (c *Correlator) UndoAllocate(p *Pred) {
+	if p == nil {
+		return
+	}
+	c.Stats.UndoneAllocs++
+	c.trace("undo-alloc", p.BranchPC, p.inst.ID)
+	c.removePred(p)
+}
+
+// FillResult reports what a Fill did.
+type FillResult struct {
+	// LateMismatch: the entry had already been consumed with the opposite
+	// direction; the CPU should redirect the consumer if it is still
+	// unresolved (early resolution, §5.3).
+	LateMismatch bool
+	// Consumer echoes the consuming branch's CPU handle for redirects.
+	Consumer any
+}
+
+// Fill delivers the PGI's computed direction.
+func (c *Correlator) Fill(p *Pred, dir bool) FillResult {
+	if p == nil || p.removed {
+		return FillResult{}
+	}
+	p.Filled = true
+	p.Dir = dir
+	c.Stats.Filled++
+	c.trace("fill", p.BranchPC, p.inst.ID, dir, p.Used)
+	// A kill only stops future matching; an already-consumed entry still
+	// names its consumer, and a late value that contradicts the fetched
+	// direction can resolve that branch early (§5.3).
+	if p.Used && p.UsedDir != dir {
+		c.Stats.LateMismatch++
+		return FillResult{LateMismatch: true, Consumer: p.Consumer}
+	}
+	return FillResult{}
+}
+
+// Lookup matches a fetched main-thread branch at branchPC against the
+// queue. fallbackDir is what the conventional predictor says; consumer is
+// the CPU's handle for the branch instance.
+//
+// It returns the matched entry (nil if none), the direction the fetch
+// should use, and whether the correlator overrode the conventional
+// predictor.
+func (c *Correlator) Lookup(branchPC uint64, fallbackDir bool, consumer any) (p *Pred, dir bool, override bool) {
+	q := c.queues[branchPC]
+	if q == nil {
+		return nil, fallbackDir, false
+	}
+	for _, e := range q.entries {
+		if e.Killed || e.Used {
+			continue
+		}
+		// Only the oldest live instance's predictions are current: the
+		// slice kills retire exactly one instance per covered iteration,
+		// so a younger instance's entries belong to a future iteration.
+		// Without this check, an instance that allocated only a prefix of
+		// its PGIs before its slice kill fired would leave the remaining
+		// queues permanently off by one.
+		if e.inst != c.oldestLive(e.inst.Slice) {
+			continue
+		}
+		e.Used = true
+		e.Consumer = consumer
+		if e.Filled {
+			e.UsedDir = e.Dir
+			c.Stats.Overrides++
+			c.trace("use", branchPC, e.inst.ID, e.Dir)
+			return e, e.Dir, true
+		}
+		// Empty → Late: the branch proceeds with the conventional
+		// prediction; the PGI may still resolve it early.
+		e.UsedDir = fallbackDir
+		c.Stats.LateMatches++
+		c.trace("use-late", branchPC, e.inst.ID, fallbackDir)
+		return e, fallbackDir, false
+	}
+	return nil, fallbackDir, false
+}
+
+// UndoUse reverses a Lookup match (the consuming branch was squashed).
+func (c *Correlator) UndoUse(p *Pred) {
+	if p == nil || p.removed {
+		return
+	}
+	p.Used = false
+	p.Consumer = nil
+	c.Stats.UndoneUses++
+	c.trace("undo-use", p.BranchPC, p.inst.ID, p.IndexInInstance())
+}
+
+// RedirectUse updates the used direction after an early resolution flipped
+// the consumer's fetch direction.
+func (c *Correlator) RedirectUse(p *Pred, dir bool) {
+	if p == nil || p.removed {
+		return
+	}
+	p.UsedDir = dir
+}
+
+// KillRecord captures everything one kill instruction did, for exact undo.
+type KillRecord struct {
+	Preds []*Pred // entries this kill marked
+	// skipInst is the instance whose first-iteration exemption this kill
+	// consumed (nil if none).
+	skipInst *Instance
+	// skipSliceInsts are instances whose slice-kill exemption this kill
+	// consumed.
+	skipSliceInsts []*Instance
+	// finishedInsts are the instances a slice kill retired (empty for
+	// loop kills).
+	finishedInsts []*Instance
+	slice         *Slice
+}
+
+// oldestLive returns the oldest unfinished instance of s.
+func (c *Correlator) oldestLive(s *Slice) *Instance {
+	for _, inst := range c.liveBySlice[s] {
+		if !inst.finished {
+			return inst
+		}
+	}
+	return nil
+}
+
+// KillLoop performs a loop-iteration kill for slice s: the oldest alive
+// entry in each queue the slice covers is marked killed. Returns nil when
+// the kill had no effect.
+func (c *Correlator) KillLoop(s *Slice) *KillRecord {
+	inst := c.oldestLive(s)
+	if inst == nil {
+		c.Stats.KillNoTarget++
+		return nil
+	}
+	if inst.skipLoopKill > 0 {
+		inst.skipLoopKill--
+		return &KillRecord{skipInst: inst, slice: s}
+	}
+	rec := &KillRecord{slice: s}
+	for _, bpc := range s.CoveredBranchPCs() {
+		q := c.queues[bpc]
+		if q == nil {
+			continue
+		}
+		// Kill the oldest live instance's first alive entry. Queue order
+		// alone is not enough: allocations from concurrently running
+		// helper instances interleave, so the FIFO head may belong to a
+		// younger instance whose iteration has not started yet.
+		for _, e := range q.entries {
+			if !e.Killed && e.inst == inst {
+				e.Killed = true
+				rec.Preds = append(rec.Preds, e)
+				c.Stats.LoopKills++
+				c.trace("loopkill", bpc, e.inst.ID)
+				break
+			}
+		}
+	}
+	if len(rec.Preds) == 0 && rec.skipInst == nil {
+		c.Stats.KillNoTarget++
+		return nil
+	}
+	return rec
+}
+
+// KillSlice performs a slice kill: the covered region is over for *every*
+// live instance of s — all of them were forked before this kill in fetch
+// order — so all are finished and their alive entries killed. Instances
+// holding a SliceKillSkipFirst exemption (hoisted one outer iteration
+// ahead) are spared once. Finishing every live instance is what lets the
+// correlator re-align itself after squash/replay churn leaves a backlog.
+func (c *Correlator) KillSlice(s *Slice) *KillRecord {
+	rec := &KillRecord{slice: s}
+	for _, inst := range c.liveBySlice[s] {
+		if inst.finished {
+			continue
+		}
+		if inst.skipSliceKill > 0 {
+			inst.skipSliceKill--
+			rec.skipSliceInsts = append(rec.skipSliceInsts, inst)
+			c.trace("slicekill-skip", s.Name, inst.ID)
+			continue
+		}
+		inst.finished = true
+		rec.finishedInsts = append(rec.finishedInsts, inst)
+		c.trace("slicekill", s.Name, inst.ID, len(inst.entries))
+		for _, e := range inst.entries {
+			if !e.Killed && !e.removed {
+				e.Killed = true
+				rec.Preds = append(rec.Preds, e)
+				c.Stats.SliceKills++
+			}
+		}
+	}
+	if len(rec.finishedInsts) == 0 && len(rec.skipSliceInsts) == 0 {
+		c.Stats.KillNoTarget++
+		return nil
+	}
+	return rec
+}
+
+// UndoKill reverses a kill record (the killer was squashed).
+func (c *Correlator) UndoKill(rec *KillRecord) {
+	if rec == nil {
+		return
+	}
+	for _, p := range rec.Preds {
+		p.Killed = false
+		c.Stats.UndoneKills++
+	}
+	if rec.skipInst != nil {
+		rec.skipInst.skipLoopKill++
+	}
+	for _, inst := range rec.skipSliceInsts {
+		inst.skipSliceKill++
+	}
+	for _, inst := range rec.finishedInsts {
+		inst.finished = false
+		c.trace("undo-slicekill", rec.slice.Name, inst.ID)
+	}
+}
+
+// CommitKill physically deallocates killed entries once the killer
+// retires (predictions are "not deallocated until the kill instruction
+// retires", §5.2).
+func (c *Correlator) CommitKill(rec *KillRecord) {
+	if rec == nil {
+		return
+	}
+	for _, p := range rec.Preds {
+		c.removePred(p)
+	}
+	for _, inst := range rec.finishedInsts {
+		// The instance's bookkeeping can go once its entries are gone.
+		live := c.liveBySlice[rec.slice]
+		for i, li := range live {
+			if li == inst {
+				c.liveBySlice[rec.slice] = append(live[:i:i], live[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// LiveList returns the unfinished instances of s, oldest first (debugging).
+func (c *Correlator) LiveList(s *Slice) []*Instance {
+	var out []*Instance
+	for _, inst := range c.liveBySlice[s] {
+		if !inst.finished {
+			out = append(out, inst)
+		}
+	}
+	return out
+}
+
+// LiveInstances reports the unfinished instance count for slice s (tests
+// and debugging).
+func (c *Correlator) LiveInstances(s *Slice) int {
+	n := 0
+	for _, inst := range c.liveBySlice[s] {
+		if !inst.finished {
+			n++
+		}
+	}
+	return n
+}
+
+// QueueLen reports the live entry count for a branch (tests).
+func (c *Correlator) QueueLen(branchPC uint64) int {
+	q := c.queues[branchPC]
+	if q == nil {
+		return 0
+	}
+	return len(q.entries)
+}
+
+// PendingFor reports how many unkilled, unconsumed predictions branchPC
+// has (tests and debugging).
+func (c *Correlator) PendingFor(branchPC uint64) int {
+	q := c.queues[branchPC]
+	if q == nil {
+		return 0
+	}
+	n := 0
+	for _, e := range q.entries {
+		if !e.Killed && !e.Used {
+			n++
+		}
+	}
+	return n
+}

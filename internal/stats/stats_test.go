@@ -1,0 +1,49 @@
+package stats
+
+import "testing"
+
+func TestRates(t *testing.T) {
+	s := New()
+	if s.IPC() != 0 || s.MispredictRate() != 0 || s.LoadMissRate() != 0 {
+		t.Error("zero-value rates must be 0, not NaN")
+	}
+	s.Cycles = 1000
+	s.MainRetired = 2500
+	if got := s.IPC(); got != 2.5 {
+		t.Errorf("IPC = %v", got)
+	}
+	s.Branches, s.Mispredicts = 200, 30
+	if got := s.MispredictRate(); got != 0.15 {
+		t.Errorf("mispredict rate = %v", got)
+	}
+	s.Loads, s.LoadMisses = 400, 100
+	if got := s.LoadMissRate(); got != 0.25 {
+		t.Errorf("load miss rate = %v", got)
+	}
+}
+
+func TestByPCAllocatesOnce(t *testing.T) {
+	s := New()
+	a := s.ByPC(0x1000)
+	a.Execs = 7
+	if b := s.ByPC(0x1000); b != a || b.Execs != 7 {
+		t.Error("ByPC must return the same record")
+	}
+	if len(s.Static) != 1 {
+		t.Errorf("static map size %d", len(s.Static))
+	}
+}
+
+func TestStaticRates(t *testing.T) {
+	st := &Static{}
+	if st.MissRate() != 0 || st.MispredictRate() != 0 {
+		t.Error("zero-exec rates must be 0")
+	}
+	st.Execs, st.Misses, st.Mispredicts = 100, 25, 10
+	if st.MissRate() != 0.25 {
+		t.Errorf("miss rate = %v", st.MissRate())
+	}
+	if st.MispredictRate() != 0.10 {
+		t.Errorf("mispredict rate = %v", st.MispredictRate())
+	}
+}

@@ -1,0 +1,153 @@
+package workloads
+
+import (
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/slicehw"
+)
+
+// Bzip2 reproduces the block-sorting comparator: suffix comparisons
+// between random offsets in a 1 MB low-entropy block. The first byte
+// touch at each random offset misses the L1, and the per-byte equality
+// branch is a coin flip on two-symbol data — the concentrated PDEs of
+// Table 2's bzip2 row.
+//
+// The slice replays the byte-compare loop with both offsets as live-ins,
+// prefetching the block lines and predicting the continue/differ branch
+// each iteration.
+func Bzip2() *Workload {
+	const (
+		blockBytes = 1 << 20
+		maxLen     = 12
+		blockBase  = uint64(0x400000)
+		outerBig   = 1 << 40
+	)
+	const (
+		rOuter = isa.Reg(1)
+		rOffA  = isa.Reg(2)
+		rOffB  = isa.Reg(3)
+		rI     = isa.Reg(4)
+		rCA    = isa.Reg(5)
+		rCB    = isa.Reg(6)
+		rEq    = isa.Reg(7)
+		rCont  = isa.Reg(8)
+		rTmp   = isa.Reg(9)
+		rAddr  = isa.Reg(10)
+		rAcc   = isa.Reg(11)
+		rBlk   = isa.Reg(27)
+		rRng   = isa.Reg(20)
+	)
+
+	b := asm.NewBuilder(MainBase)
+	b.Li(isa.GP, int64(GlobalBase))
+	b.Li(rBlk, int64(blockBase))
+	b.Li(rRng, 0x2545F4914F6CDD1D)
+	b.Li(rOuter, outerBig)
+
+	b.Label("sort_loop")
+	xorshift(b, rRng, rTmp)
+	b.I(isa.ANDI, rOffA, rRng, blockBytes-64)
+	b.I(isa.SRLI, rTmp, rRng, 22)
+	b.I(isa.ANDI, rOffB, rTmp, blockBytes-64)
+	b.Label("cmp_suffixes") // fork point
+	// Pointer bookkeeping the fork is hoisted past.
+	for i := 0; i < 4; i++ {
+		b.I(isa.ADDI, rAcc, rAcc, 1)
+		b.I(isa.XORI, rTmp, rAcc, 0x33)
+	}
+	b.I(isa.LDI, rI, 0, 0)
+
+	b.Label("cmp_loop")
+	b.R(isa.ADD, rAddr, rBlk, rOffA)
+	b.R(isa.ADD, rAddr, rAddr, rI)
+	b.Label("ld_byteA")
+	b.Ldbu(rCA, 0, rAddr) //                       ← problem load
+	b.R(isa.ADD, rAddr, rBlk, rOffB)
+	b.R(isa.ADD, rAddr, rAddr, rI)
+	b.Label("ld_byteB")
+	b.Ldbu(rCB, 0, rAddr) //                       ← problem load
+	b.R(isa.CMPEQ, rEq, rCA, rCB)
+	b.Label("cmp_branch")
+	b.B(isa.BEQ, rEq, "differ") //                 ← problem branch (p≈1/2)
+	b.I(isa.ADDI, rI, rI, 1)
+	b.I(isa.CMPLTI, rCont, rI, maxLen)
+	b.Label("cmp_latch")
+	b.B(isa.BNE, rCont, "cmp_loop") //             loop-iteration kill
+	b.Label("differ")
+	// Use the comparison result: branch on byte order.
+	b.R(isa.CMPLT, rTmp, rCA, rCB)
+	b.Label("order_branch")
+	b.B(isa.BEQ, rTmp, "no_swap") //               ← second problem branch
+	b.I(isa.ADDI, rAcc, rAcc, 1)
+	b.Label("no_swap")
+	b.Label("sort_done") //                        slice kill
+	b.I(isa.ADDI, rOuter, rOuter, -1)
+	b.B(isa.BGT, rOuter, "sort_loop")
+	b.Halt()
+	main := b.MustBuild()
+
+	sb := asm.NewBuilder(SliceBase)
+	sb.Label("slice")
+	// Hoisted one comparison ahead: replicate the state update twice to
+	// compute the next comparison's offsets.
+	sb.Mov(10, rRng)
+	for k := 0; k < 2; k++ {
+		xorshift(sb, 10, 11)
+	}
+	sb.I(isa.ANDI, 12, 10, blockBytes-64) // offA'
+	sb.I(isa.SRLI, 13, 10, 22)
+	sb.I(isa.ANDI, 13, 13, blockBytes-64) // offB'
+	sb.R(isa.ADD, 12, 12, rBlk)
+	sb.R(isa.ADD, 13, 13, rBlk)
+	sb.Label("slice_loop")
+	sb.Ldbu(5, 0, 12) // block[offA'+i] (prefetch)
+	sb.Ldbu(6, 0, 13) // block[offB'+i] (prefetch)
+	sb.Label("slice_pgi")
+	sb.R(isa.CMPEQ, 7, 5, 6) // bytes equal? PRED (continue iff equal)
+	sb.I(isa.ADDI, 12, 12, 1)
+	sb.I(isa.ADDI, 13, 13, 1)
+	sb.Label("slice_back")
+	sb.Br("slice_loop")
+	sliceProg := sb.MustBuild()
+
+	sl := &slicehw.Slice{
+		Name:       "bzip2.suffix_cmp_next",
+		ForkPC:     main.PC("sort_loop"),
+		SlicePC:    sliceProg.PC("slice"),
+		LiveIns:    []isa.Reg{rRng, rBlk},
+		MaxLoops:   maxLen + 2,
+		LoopBackPC: sliceProg.PC("slice_back"),
+		PGIs: []slicehw.PGI{{
+			SlicePC:     sliceProg.PC("slice_pgi"),
+			BranchPC:    main.PC("cmp_branch"),
+			TakenIfZero: true, // "differ" taken when the compare is 0
+		}},
+		LoopKillPC:         main.PC("cmp_latch"),
+		SliceKillPC:        main.PC("sort_done"),
+		SliceKillSkipFirst: true,
+		CoveredLoadPCs:     []uint64{main.PC("ld_byteA"), main.PC("ld_byteB")},
+	}
+	countStatic(sliceProg, sl, "slice_loop")
+
+	initMem := func(m *mem.Memory) {
+		r := newRand(2222)
+		buf := make([]byte, blockBytes)
+		for i := range buf {
+			buf[i] = byte('a' + r.intn(2))
+		}
+		m.WriteBytes(blockBase, buf)
+	}
+
+	return &Workload{
+		Name: "bzip2",
+		Description: "block-sorting comparator: suffix byte compares at random " +
+			"offsets in a 1 MB two-symbol block",
+		Entry:           main.Base,
+		Image:           mustImage(main, sliceProg),
+		Slices:          []*slicehw.Slice{sl},
+		InitMem:         initMem,
+		SuggestedRun:    400_000,
+		SuggestedWarmup: 150_000,
+	}
+}

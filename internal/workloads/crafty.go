@@ -1,0 +1,122 @@
+package workloads
+
+import (
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/slicehw"
+)
+
+// Crafty reproduces the chess engine's bit-scan loops (FirstOne/LastOne):
+// move generation peels set bits off random bitboards, with one
+// geometrically distributed branch per bit examined. Attack tables stay
+// L1-resident, so crafty is branch-dominated with a low PDE density — and
+// as the paper's footnote 3 notes, the opportunity is limited, so the
+// slice buys little.
+func Crafty() *Workload {
+	const outerBig = 1 << 40
+	const (
+		rOuter = isa.Reg(1)
+		rBB    = isa.Reg(2)
+		rBit   = isa.Reg(3)
+		rCount = isa.Reg(4)
+		rAtk   = isa.Reg(5)
+		rTmp   = isa.Reg(9)
+		rAddr  = isa.Reg(10)
+		rAcc   = isa.Reg(11)
+		rTab   = isa.Reg(27)
+		rRng   = isa.Reg(20)
+		rMixed = isa.Reg(21)
+	)
+	const attackTab = uint64(DataBase) // 8 KB attack table — L1-resident
+
+	b := asm.NewBuilder(MainBase)
+	b.Li(isa.GP, int64(GlobalBase))
+	b.Li(rTab, int64(attackTab))
+	b.Li(rRng, 0x67037ED1A0B428DB)
+	b.Li(rOuter, outerBig)
+
+	b.Label("gen_moves")
+	xorshift(b, rRng, rTmp)
+	// Carry-mix the bitboard so successive bits are nonlinear in the
+	// state (a raw xorshift stream is GF(2)-linear and YAGS learns it).
+	b.I(isa.SLLI, rTmp, rRng, 13)
+	b.R(isa.ADD, rTmp, rTmp, rRng)
+	b.R(isa.XOR, rMixed, rTmp, rRng)
+	b.I(isa.SRLI, rMixed, rMixed, 14)
+	b.Label("first_one") // fork point
+	// Board bookkeeping the fork is hoisted past.
+	for i := 0; i < 8; i++ {
+		b.I(isa.ADDI, rAcc, rAcc, 1)
+		b.I(isa.XORI, rTmp, rAcc, 0x0F)
+	}
+	b.Mov(rBB, rMixed)
+	b.I(isa.LDI, rCount, 0, 0)
+	b.Label("bit_loop")
+	b.I(isa.ANDI, rBit, rBB, 1)
+	b.Label("bit_branch")
+	b.B(isa.BNE, rBit, "bit_found") //             ← problem branch (p=1/2 per bit)
+	b.I(isa.SRLI, rBB, rBB, 1)
+	b.I(isa.ADDI, rCount, rCount, 1)
+	b.Label("bit_latch")
+	b.Br("bit_loop") //                            loop-iteration kill
+	b.Label("bit_found")
+	// Attack table lookup (hits the L1).
+	b.I(isa.ANDI, rTmp, rCount, 1023)
+	b.R(isa.S8ADD, rAddr, rTmp, rTab)
+	b.Ld(rAtk, 0, rAddr)
+	b.R(isa.ADD, rAcc, rAcc, rAtk)
+	b.Label("move_done") //                        slice kill
+	b.I(isa.ADDI, rOuter, rOuter, -1)
+	b.B(isa.BGT, rOuter, "gen_moves")
+	b.Halt()
+	main := b.MustBuild()
+
+	sb := asm.NewBuilder(SliceBase)
+	sb.Label("slice")
+	sb.Mov(2, rMixed)
+	sb.Label("slice_loop")
+	sb.Label("slice_pgi")
+	sb.I(isa.ANDI, 3, 2, 1) // low bit set? PRED (taken iff 1)
+	sb.I(isa.SRLI, 2, 2, 1)
+	sb.Label("slice_back")
+	sb.Br("slice_loop")
+	sliceProg := sb.MustBuild()
+
+	sl := &slicehw.Slice{
+		Name:       "crafty.first_one",
+		ForkPC:     main.PC("first_one"),
+		SlicePC:    sliceProg.PC("slice"),
+		LiveIns:    []isa.Reg{rMixed},
+		MaxLoops:   16,
+		LoopBackPC: sliceProg.PC("slice_back"),
+		PGIs: []slicehw.PGI{{
+			SlicePC:  sliceProg.PC("slice_pgi"),
+			BranchPC: main.PC("bit_branch"),
+			// BNE on the extracted bit: taken iff nonzero.
+			TakenIfZero: false,
+		}},
+		LoopKillPC:  main.PC("bit_latch"),
+		SliceKillPC: main.PC("move_done"),
+	}
+	countStatic(sliceProg, sl, "slice_loop")
+
+	initMem := func(m *mem.Memory) {
+		r := newRand(64)
+		for i := 0; i < 1024; i++ {
+			m.WriteU64(attackTab+uint64(i)*8, uint64(r.intn(256)))
+		}
+	}
+
+	return &Workload{
+		Name: "crafty",
+		Description: "chess move generation: bit-scan loops over random bitboards " +
+			"with L1-resident attack tables",
+		Entry:           main.Base,
+		Image:           mustImage(main, sliceProg),
+		Slices:          []*slicehw.Slice{sl},
+		InitMem:         initMem,
+		SuggestedRun:    400_000,
+		SuggestedWarmup: 100_000,
+	}
+}

@@ -1,0 +1,135 @@
+package workloads
+
+import (
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/slicehw"
+)
+
+// Eon reproduces eon's profile: a probabilistic ray tracer whose data fits
+// in the L1 ("insufficient misses" in Table 2) but whose intersection
+// tests are a cascade of data-dependent, individually unbiased compare
+// branches. All the benefit comes from branch prediction.
+//
+// The test predicates come from a carry-mixed (nonlinear) scramble of the
+// ray state, so the global-history predictor cannot learn them. To gain
+// latency tolerance the fork is hoisted a full ray ahead (§3.2's "sweet
+// spot" search): the slice forked while ray i is being shaded replicates
+// the one-step state update and computes ray i+1's six predicates. Even
+// so, many predictions arrive late — the paper reports 40% late for eon —
+// and are applied through early resolution (§5.3).
+func Eon() *Workload {
+	const outerBig = 1 << 40
+	const (
+		rOuter = isa.Reg(1)
+		rRng   = isa.Reg(20)
+		rMix   = isa.Reg(21)
+		rTmp   = isa.Reg(9)
+		rAcc   = isa.Reg(10)
+		rT     = isa.Reg(11) // test predicate
+		rG     = isa.Reg(12) // geometry scratch
+	)
+	// Six intersection tests examine carry-affected bits of the mix.
+	shifts := []int32{15, 21, 27, 33, 39, 45}
+
+	// mix computes out = state ^ (state + state<<13): the carry chain
+	// makes every bit above 13 a nonlinear function of the state.
+	mix := func(b *asm.Builder, out, state, tmp isa.Reg) {
+		b.I(isa.SLLI, tmp, state, 13)
+		b.R(isa.ADD, tmp, tmp, state)
+		b.R(isa.XOR, out, tmp, state)
+	}
+
+	b := asm.NewBuilder(MainBase)
+	b.Li(isa.GP, int64(GlobalBase))
+	b.Li(rRng, 0x3A8F05C5)
+	b.Li(rOuter, outerBig)
+
+	b.Label("ray_loop")
+	b.Label("trace_ray") // fork point: the slice covers ray i+1
+	xorshift(b, rRng, rTmp)
+	mix(b, rMix, rRng, rTmp)
+	// Geometry setup (ray-box transform) between the fork and the tests.
+	for i := 0; i < 12; i++ {
+		b.I(isa.ADDI, rG, rG, 3)
+		b.I(isa.XORI, rAcc, rG, 0x2D)
+	}
+	// Six object tests.
+	for i, sh := range shifts {
+		b.I(isa.SRLI, rT, rMix, sh)
+		b.I(isa.ANDI, rT, rT, 1)
+		b.Label(lbl("eon_branch", i))
+		b.B(isa.BEQ, rT, lbl("eon_skip", i)) // ← problem branch (unbiased)
+		b.I(isa.ADDI, rAcc, rAcc, 1)
+		b.I(isa.XORI, rAcc, rAcc, 0x11)
+		b.Label(lbl("eon_skip", i))
+	}
+	b.Label("ray_done") // slice kill
+	b.I(isa.ADDI, rOuter, rOuter, -1)
+	b.B(isa.BGT, rOuter, "ray_loop")
+	b.Halt()
+	main := b.MustBuild()
+
+	sb := asm.NewBuilder(SliceBase)
+	sb.Label("slice")
+	// Replicate the one-step state update for ray i+1 (live-in: the state
+	// after ray i's update — the fork sits before ray i's xorshift, so the
+	// live-in is the state entering ray i; the slice advances it once to
+	// reach ray i+1... the fork point is before xorshift_i, hence one
+	// advance yields ray i's values; two advances yield ray i+1's. The
+	// fork is placed before xorshift_i and the slice advances twice.
+	sb.Mov(2, rRng)
+	for k := 0; k < 2; k++ {
+		sb.I(isa.SLLI, 3, 2, 13)
+		sb.R(isa.XOR, 2, 2, 3)
+		sb.I(isa.SRLI, 3, 2, 7)
+		sb.R(isa.XOR, 2, 2, 3)
+		sb.I(isa.SLLI, 3, 2, 17)
+		sb.R(isa.XOR, 2, 2, 3)
+	}
+	sb.I(isa.SLLI, 3, 2, 13)
+	sb.R(isa.ADD, 3, 3, 2)
+	sb.R(isa.XOR, 4, 3, 2) // the mix for ray i+1
+	var pgis []slicehw.PGI
+	for i, sh := range shifts {
+		sb.I(isa.SRLI, 5, 4, sh)
+		pgiPC := sb.PC()
+		sb.I(isa.ANDI, 5, 5, 1) // PGI: branch taken iff bit == 0
+		pgis = append(pgis, slicehw.PGI{
+			SlicePC:     pgiPC,
+			BranchPC:    main.PC(lbl("eon_branch", i)),
+			TakenIfZero: true,
+		})
+	}
+	sliceProg := sb.MustBuild()
+
+	sl := &slicehw.Slice{
+		Name:        "eon.intersect_next",
+		ForkPC:      main.PC("trace_ray"),
+		SlicePC:     sliceProg.PC("slice"),
+		LiveIns:     []isa.Reg{rRng},
+		PGIs:        pgis,
+		SliceKillPC: main.PC("ray_done"),
+		// Forked in iteration i but covering ray i+1: the slice kill at
+		// ray_done_i must not kill this instance.
+		SliceKillSkipFirst: true,
+	}
+	countStatic(sliceProg, sl, "")
+
+	return &Workload{
+		Name: "eon",
+		Description: "probabilistic ray tracing: L1-resident data, six unbiased " +
+			"intersection-test branches per ray, slice hoisted one ray ahead",
+		Entry:           main.Base,
+		Image:           mustImage(main, sliceProg),
+		Slices:          []*slicehw.Slice{sl},
+		InitMem:         func(m *mem.Memory) { m.WriteU64(GlobalBase, 0) },
+		SuggestedRun:    400_000,
+		SuggestedWarmup: 100_000,
+	}
+}
+
+func lbl(prefix string, i int) string {
+	return prefix + "_" + string(rune('0'+i))
+}

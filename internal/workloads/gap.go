@@ -1,0 +1,153 @@
+package workloads
+
+import (
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/slicehw"
+)
+
+// Gap reproduces the group-theory interpreter's bag scans: handlers
+// iterate over variable-length lists of integers scattered through a 2 MB
+// arena, comparing each element against a handle. The element compare is
+// unbiased; the first touch of each bag misses (the stream prefetcher then
+// covers the sequential tail — which is why gap's slice benefit is split
+// between loads and branches in Table 4).
+//
+// The slice scans the same bag ahead of the handler, one prediction per
+// element; its iteration bound (like the paper's 85) comes from the
+// profiled maximum bag length.
+func Gap() *Workload {
+	const (
+		nBags    = 4096
+		maxBag   = 80
+		arena    = uint64(0x400000)
+		bagIdx   = uint64(DataBase) // bag pointer array
+		outerBig = 1 << 40
+	)
+	const (
+		rOuter = isa.Reg(1)
+		rIdx   = isa.Reg(2)
+		rBag   = isa.Reg(3)
+		rLen   = isa.Reg(4)
+		rI     = isa.Reg(5)
+		rVal   = isa.Reg(6)
+		rCmp   = isa.Reg(7)
+		rCnt   = isa.Reg(8)
+		rTmp   = isa.Reg(9)
+		rAddr  = isa.Reg(10)
+		rCont  = isa.Reg(11)
+		rHand  = isa.Reg(22) // handle value compared against
+		rBags  = isa.Reg(27)
+		rRng   = isa.Reg(20)
+	)
+
+	b := asm.NewBuilder(MainBase)
+	b.Li(isa.GP, int64(GlobalBase))
+	b.Li(rBags, int64(bagIdx))
+	b.Li(rRng, 0x14D049BB133111EB)
+	b.Li(rOuter, outerBig)
+
+	b.Label("eval_loop")
+	xorshift(b, rRng, rTmp)
+	b.I(isa.ANDI, rHand, rRng, 0xFFFFF)
+	b.I(isa.ADDI, rIdx, rIdx, 1)
+	b.I(isa.ANDI, rTmp, rIdx, nBags-1)
+	b.R(isa.S8ADD, rAddr, rTmp, rBags)
+	b.Ld(rBag, 0, rAddr) // bag pointer (index array is hot)
+	b.Label("scan_bag")  // fork point
+	// Interpreter dispatch bookkeeping the fork is hoisted past.
+	for i := 0; i < 6; i++ {
+		b.I(isa.ADDI, rCnt, rCnt, 1)
+		b.I(isa.XORI, rTmp, rCnt, 0x77)
+	}
+	b.Ld(rLen, 0, rBag) // bag length (first touch of the bag — misses)
+	b.I(isa.LDI, rI, 0, 0)
+
+	b.Label("scan_loop")
+	b.R(isa.S8ADD, rAddr, rI, rBag)
+	b.Label("ld_elem")
+	b.Ld(rVal, 8, rAddr) //                        ← problem load (first lines)
+	b.R(isa.CMPLT, rCmp, rVal, rHand)
+	b.Label("elem_branch")
+	b.B(isa.BEQ, rCmp, "elem_skip") //             ← problem branch (p≈1/2)
+	b.I(isa.ADDI, rCnt, rCnt, 1)
+	b.Label("elem_skip")
+	b.I(isa.ADDI, rI, rI, 1)
+	b.R(isa.CMPLT, rCont, rI, rLen)
+	b.Label("scan_latch")
+	b.B(isa.BNE, rCont, "scan_loop") //            loop-iteration kill
+	b.Label("bag_done")              //                         slice kill
+	b.I(isa.ADDI, rOuter, rOuter, -1)
+	b.B(isa.BGT, rOuter, "eval_loop")
+	b.Halt()
+	main := b.MustBuild()
+
+	sb := asm.NewBuilder(SliceBase)
+	sb.Label("slice")
+	// Hoisted one bag ahead: the next handle comes from the replicated
+	// state update, the next bag pointer from the bag index array.
+	sb.Mov(10, rRng)
+	for k := 0; k < 2; k++ {
+		xorshift(sb, 10, 11)
+	}
+	sb.I(isa.ANDI, 12, 10, 0xFFFFF) // handle'
+	sb.I(isa.ADDI, 13, rIdx, 2)     // next bag index (rIdx pre-increment)
+	sb.I(isa.ANDI, 13, 13, nBags-1)
+	sb.R(isa.S8ADD, 14, 13, rBags)
+	sb.Ld(15, 0, 14) // bag pointer
+	sb.Label("slice_loop")
+	sb.Ld(16, 8, 15) // element (prefetch)
+	sb.Label("slice_pgi")
+	sb.R(isa.CMPLT, 17, 16, 12) // (elem < handle') PRED
+	sb.I(isa.ADDI, 15, 15, 8)
+	sb.Label("slice_back")
+	sb.Br("slice_loop")
+	sliceProg := sb.MustBuild()
+
+	sl := &slicehw.Slice{
+		Name:       "gap.bag_scan_next",
+		ForkPC:     main.PC("eval_loop"),
+		SlicePC:    sliceProg.PC("slice"),
+		LiveIns:    []isa.Reg{rRng, rIdx, rBags},
+		MaxLoops:   maxBag + 5,
+		LoopBackPC: sliceProg.PC("slice_back"),
+		PGIs: []slicehw.PGI{{
+			SlicePC:     sliceProg.PC("slice_pgi"),
+			BranchPC:    main.PC("elem_branch"),
+			TakenIfZero: true,
+		}},
+		LoopKillPC:         main.PC("scan_latch"),
+		SliceKillPC:        main.PC("bag_done"),
+		SliceKillSkipFirst: true,
+		CoveredLoadPCs:     []uint64{main.PC("ld_elem")},
+	}
+	countStatic(sliceProg, sl, "slice_loop")
+
+	initMem := func(m *mem.Memory) {
+		r := newRand(4242)
+		// Bags at random 1 KiB-aligned arena offsets (a bag spans at most
+		// 8+80*8 = 648 bytes, so slots never overlap), length 4..maxBag.
+		for i := 0; i < nBags; i++ {
+			addr := arena + uint64(r.intn(1<<11))*1024
+			m.WriteU64(bagIdx+uint64(i)*8, addr)
+			n := 4 + r.intn(maxBag-4)
+			m.WriteU64(addr, uint64(n))
+			for k := 0; k < n; k++ {
+				m.WriteU64(addr+8+uint64(k)*8, uint64(r.intn(1<<20)))
+			}
+		}
+	}
+
+	return &Workload{
+		Name: "gap",
+		Description: "interpreter bag scans: variable-length list walks with " +
+			"unbiased element compares over a 2 MB arena",
+		Entry:           main.Base,
+		Image:           mustImage(main, sliceProg),
+		Slices:          []*slicehw.Slice{sl},
+		InitMem:         initMem,
+		SuggestedRun:    400_000,
+		SuggestedWarmup: 150_000,
+	}
+}

@@ -1,0 +1,180 @@
+package workloads
+
+import (
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/slicehw"
+)
+
+// Gcc reproduces the rtx-walk failure mode of §6.2: functions that switch
+// on a node's type code and recursively descend a tree-like structure.
+// The switch is an indirect jump whose target depends on freshly loaded
+// data, the traversal order is unpredictable, and computing it is a
+// substantial fraction of the function — so profitable slices are hard to
+// build. The token slice here only prefetches each walk's root node and
+// predicts its first type-test, yielding (correctly) almost nothing.
+func Gcc() *Workload {
+	const (
+		nNodes   = 65536
+		nRoots   = 4096
+		arena    = uint64(0x1000000) // 4 MB of rtx nodes
+		roots    = uint64(DataBase)
+		jumpTab  = uint64(GlobalBase + 0x100)
+		stackB   = uint64(0x300000)
+		outerBig = 1 << 40
+	)
+	const (
+		rOuter = isa.Reg(1)
+		rIdx   = isa.Reg(2)
+		rNode  = isa.Reg(3)
+		rCode  = isa.Reg(4)
+		rTgt   = isa.Reg(5)
+		rSP    = isa.Reg(6) // work-stack pointer
+		rTmp   = isa.Reg(9)
+		rAddr  = isa.Reg(10)
+		rAcc   = isa.Reg(11)
+		rCmp   = isa.Reg(12)
+		rChild = isa.Reg(13)
+		rRoots = isa.Reg(27)
+		rJT    = isa.Reg(26)
+		rPivot = isa.Reg(25)
+	)
+
+	b := asm.NewBuilder(MainBase)
+	b.Li(isa.GP, int64(GlobalBase))
+	b.Li(rRoots, int64(roots))
+	b.Li(rJT, int64(jumpTab))
+	b.Li(rPivot, 4)
+	b.Li(rOuter, outerBig)
+
+	b.Label("pass_loop")
+	b.I(isa.ADDI, rIdx, rIdx, 1)
+	b.I(isa.ANDI, rTmp, rIdx, nRoots-1)
+	b.R(isa.S8ADD, rAddr, rTmp, rRoots)
+	b.Label("walk_rtx") // fork point
+	b.Ld(rNode, 0, rAddr)
+	b.Li(rSP, int64(stackB))
+	b.St(rNode, 0, rSP)
+	b.I(isa.ADDI, rSP, rSP, 8)
+
+	b.Label("walk_loop")
+	b.Li(rTmp, int64(stackB))
+	b.R(isa.CMPULE, rCmp, rSP, rTmp)
+	b.B(isa.BNE, rCmp, "pass_done") // stack empty
+	b.I(isa.ADDI, rSP, rSP, -8)
+	b.Ld(rNode, 0, rSP) // pop
+	b.Label("ld_code")
+	b.Ld(rCode, 0, rNode) //                       ← problem load
+	// Root-order predicate the token slice covers.
+	b.R(isa.CMPLT, rCmp, rCode, rPivot)
+	b.Label("order_branch")
+	b.B(isa.BEQ, rCmp, "hi_code") //               ← problem branch
+	b.I(isa.ADDI, rAcc, rAcc, 1)
+	b.Label("hi_code")
+	// The rtx switch: an unpredictable indirect dispatch.
+	b.I(isa.ANDI, rTmp, rCode, 7)
+	b.R(isa.S8ADD, rAddr, rTmp, rJT)
+	b.Ld(rTgt, 0, rAddr)
+	b.Label("rtx_switch")
+	b.Jmp(rTgt) //                                 ← problem indirect branch
+
+	// Handlers 0-3: descend both children.
+	b.Label("h_both")
+	b.Ld(rChild, 8, rNode)
+	b.B(isa.BEQ, rChild, "h_both_r")
+	b.St(rChild, 0, rSP)
+	b.I(isa.ADDI, rSP, rSP, 8)
+	b.Label("h_both_r")
+	b.Ld(rChild, 16, rNode)
+	b.B(isa.BEQ, rChild, "walk_loop")
+	b.St(rChild, 0, rSP)
+	b.I(isa.ADDI, rSP, rSP, 8)
+	b.Br("walk_loop")
+	// Handlers 4-5: descend left only.
+	b.Label("h_left")
+	b.Ld(rChild, 8, rNode)
+	b.B(isa.BEQ, rChild, "walk_loop")
+	b.St(rChild, 0, rSP)
+	b.I(isa.ADDI, rSP, rSP, 8)
+	b.Br("walk_loop")
+	// Handlers 6-7: leaves.
+	b.Label("h_leaf")
+	b.R(isa.ADD, rAcc, rAcc, rCode)
+	b.Br("walk_loop")
+
+	b.Label("pass_done") //                        slice kill
+	b.I(isa.ADDI, rOuter, rOuter, -1)
+	b.B(isa.BGT, rOuter, "pass_loop")
+	b.Halt()
+	main := b.MustBuild()
+
+	// Token slice: prefetch the root and predict its order branch once.
+	sb := asm.NewBuilder(SliceBase)
+	sb.Label("slice")
+	sb.Ld(2, 0, rAddr) // root pointer (live-in is the root slot address)
+	sb.Ld(3, 0, 2)     // root->code (prefetch)
+	sb.Label("slice_pgi")
+	sb.R(isa.CMPLT, 4, 3, rPivot) // PRED
+	sb.Halt()
+	sliceProg := sb.MustBuild()
+
+	sl := &slicehw.Slice{
+		Name:    "gcc.walk_root",
+		ForkPC:  main.PC("walk_rtx"),
+		SlicePC: sliceProg.PC("slice"),
+		LiveIns: []isa.Reg{rAddr, rPivot},
+		PGIs: []slicehw.PGI{{
+			SlicePC:     sliceProg.PC("slice_pgi"),
+			BranchPC:    main.PC("order_branch"),
+			TakenIfZero: true,
+		}},
+		// One loop kill inside the walk (after the covered branch) keeps
+		// the queue aligned when the branch re-executes for non-root
+		// nodes.
+		LoopKillPC:     main.PC("rtx_switch"),
+		SliceKillPC:    main.PC("pass_done"),
+		CoveredLoadPCs: []uint64{main.PC("ld_code")},
+	}
+	countStatic(sliceProg, sl, "")
+
+	initMem := func(m *mem.Memory) {
+		r := newRand(6502)
+		// Jump table.
+		handlers := []string{"h_both", "h_both", "h_both", "h_both", "h_left", "h_left", "h_leaf", "h_leaf"}
+		for i, h := range handlers {
+			m.WriteU64(jumpTab+uint64(i)*8, main.PC(h))
+		}
+		// Scattered nodes with random codes and random child links
+		// forming shallow DAGs (bounded walks).
+		slots := r.perm(nNodes)
+		addrOf := func(i int) uint64 { return arena + uint64(slots[i])*64 }
+		for i := 0; i < nNodes; i++ {
+			a := addrOf(i)
+			m.WriteU64(a, uint64(r.intn(8)))
+			var l, rr uint64
+			if c := i * 2; c+2 < nNodes {
+				l, rr = addrOf(c+1), addrOf(c+2)
+			}
+			m.WriteU64(a+8, l)
+			m.WriteU64(a+16, rr)
+		}
+		// Roots point high in the implicit tree so walks stay shallow:
+		// pick nodes whose subtrees are leaves-ish.
+		for i := 0; i < nRoots; i++ {
+			m.WriteU64(roots+uint64(i)*8, addrOf(nNodes/4+r.intn(nNodes/2)))
+		}
+	}
+
+	return &Workload{
+		Name: "gcc",
+		Description: "rtx tree walks: data-dependent indirect switch dispatch and " +
+			"unpredictable traversal order (§6.2 failure case)",
+		Entry:           main.Base,
+		Image:           mustImage(main, sliceProg),
+		Slices:          []*slicehw.Slice{sl},
+		InitMem:         initMem,
+		SuggestedRun:    400_000,
+		SuggestedWarmup: 150_000,
+	}
+}

@@ -1,0 +1,159 @@
+package workloads
+
+import (
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/slicehw"
+)
+
+// Gzip reproduces deflate's longest-match search: hash-chain walks through
+// a window of low-entropy text. Each chain step loads a candidate position
+// from the chain table and compares window bytes — the byte-equality
+// branch is a coin flip on two-symbol data, and Table 4 shows gzip's
+// entire speedup comes from removing those mispredictions.
+//
+// The slice walks the same chain one compare per iteration, with the
+// window head byte register-allocated as a live-in (the paper's "removing
+// communication through memory" optimization).
+func Gzip() *Workload {
+	const (
+		winBytes  = 256 << 10 // window: 256 KB of 2-symbol text
+		chainEnts = 64 << 10
+		winBase   = uint64(0x400000)
+		chainBase = uint64(0x600000)
+		depth     = 8 // chain search depth
+		outerBig  = 1 << 40
+	)
+	const (
+		rOuter = isa.Reg(1)
+		rCur   = isa.Reg(2) // current position
+		rHpos  = isa.Reg(3) // chain cursor
+		rPos   = isa.Reg(4) // candidate position
+		rCA    = isa.Reg(5) // candidate byte
+		rCB    = isa.Reg(6) // current byte
+		rEq    = isa.Reg(7)
+		rDepth = isa.Reg(8)
+		rTmp   = isa.Reg(9)
+		rAddr  = isa.Reg(10)
+		rMatch = isa.Reg(11)
+		rWin   = isa.Reg(27)
+		rChain = isa.Reg(26)
+		rRng   = isa.Reg(20)
+	)
+
+	b := asm.NewBuilder(MainBase)
+	b.Li(isa.GP, int64(GlobalBase))
+	b.Li(rWin, int64(winBase))
+	b.Li(rChain, int64(chainBase))
+	b.Li(rRng, 0x3F58476D1CE4E5B9)
+	b.Li(rOuter, outerBig)
+
+	b.Label("deflate_loop")
+	xorshift(b, rRng, rTmp)
+	b.I(isa.ANDI, rCur, rRng, winBytes-1)
+	b.I(isa.SRLI, rHpos, rRng, 24)
+	b.I(isa.ANDI, rHpos, rHpos, chainEnts-1)
+	b.Label("match_start") // fork point
+	// Hash insertion bookkeeping the fork is hoisted past.
+	for i := 0; i < 5; i++ {
+		b.I(isa.ADDI, rMatch, rMatch, 1)
+		b.I(isa.XORI, rTmp, rMatch, 0x6B)
+	}
+	b.R(isa.ADD, rAddr, rWin, rCur)
+	b.Ldbu(rCB, 0, rAddr) // window[cur] — the head byte
+	b.Label("fork_match") // fork point: rCB and rHpos are both live
+	b.I(isa.LDI, rDepth, 0, depth)
+
+	b.Label("chain_loop")
+	b.R(isa.S8ADD, rAddr, rHpos, rChain)
+	b.Label("ld_chain")
+	b.Ld(rPos, 0, rAddr) // chain[hpos]            ← problem load
+	b.I(isa.ANDI, rPos, rPos, winBytes-1)
+	b.R(isa.ADD, rAddr, rWin, rPos)
+	b.Label("ld_window")
+	b.Ldbu(rCA, 0, rAddr) // window[pos]           ← problem load
+	b.R(isa.CMPEQ, rEq, rCA, rCB)
+	b.Label("match_branch")
+	b.B(isa.BEQ, rEq, "no_match") //               ← problem branch (p≈1/2)
+	b.I(isa.ADDI, rMatch, rMatch, 1)
+	b.Label("no_match")
+	b.I(isa.ANDI, rHpos, rPos, chainEnts-1) // follow the chain
+	b.I(isa.ADDI, rDepth, rDepth, -1)
+	b.Label("chain_latch")
+	b.B(isa.BGT, rDepth, "chain_loop") //          loop-iteration kill
+	b.Label("match_done")              //                       slice kill
+	b.I(isa.ADDI, rOuter, rOuter, -1)
+	b.B(isa.BGT, rOuter, "deflate_loop")
+	b.Halt()
+	main := b.MustBuild()
+
+	sb := asm.NewBuilder(SliceBase)
+	sb.Label("slice")
+	// Hoisted one match ahead: replicate the state update twice, then
+	// derive the next search's window position and chain start.
+	sb.Mov(10, rRng)
+	for k := 0; k < 2; k++ {
+		xorshift(sb, 10, 11)
+	}
+	sb.I(isa.ANDI, 12, 10, winBytes-1) // cur'
+	sb.I(isa.SRLI, 13, 10, 24)
+	sb.I(isa.ANDI, 13, 13, chainEnts-1) // hpos'
+	sb.R(isa.ADD, 14, rWin, 12)
+	sb.Ldbu(6, 0, 14) // window[cur'] — the head byte
+	sb.Label("slice_loop")
+	sb.R(isa.S8ADD, 15, 13, rChain)
+	sb.Ld(16, 0, 15) // chain[hpos'] (prefetch)
+	sb.I(isa.ANDI, 16, 16, winBytes-1)
+	sb.R(isa.ADD, 17, rWin, 16)
+	sb.Ldbu(18, 0, 17) // window[pos] (prefetch)
+	sb.Label("slice_pgi")
+	sb.R(isa.CMPEQ, 19, 18, 6) // == window[cur']? PRED
+	sb.I(isa.ANDI, 13, 16, chainEnts-1)
+	sb.Label("slice_back")
+	sb.Br("slice_loop")
+	sliceProg := sb.MustBuild()
+
+	sl := &slicehw.Slice{
+		Name:       "gzip.longest_match_next",
+		ForkPC:     main.PC("deflate_loop"),
+		SlicePC:    sliceProg.PC("slice"),
+		LiveIns:    []isa.Reg{rRng, rWin, rChain},
+		MaxLoops:   depth + 2,
+		LoopBackPC: sliceProg.PC("slice_back"),
+		PGIs: []slicehw.PGI{{
+			SlicePC:     sliceProg.PC("slice_pgi"),
+			BranchPC:    main.PC("match_branch"),
+			TakenIfZero: true,
+		}},
+		LoopKillPC:         main.PC("chain_latch"),
+		SliceKillPC:        main.PC("match_done"),
+		SliceKillSkipFirst: true,
+		CoveredLoadPCs:     []uint64{main.PC("ld_chain"), main.PC("ld_window")},
+	}
+	countStatic(sliceProg, sl, "slice_loop")
+
+	initMem := func(m *mem.Memory) {
+		r := newRand(7777)
+		buf := make([]byte, winBytes)
+		for i := range buf {
+			buf[i] = byte('a' + r.intn(2)) // two-symbol text
+		}
+		m.WriteBytes(winBase, buf)
+		for i := 0; i < chainEnts; i++ {
+			m.WriteU64(chainBase+uint64(i)*8, uint64(r.intn(winBytes)))
+		}
+	}
+
+	return &Workload{
+		Name: "gzip",
+		Description: "deflate longest-match search: hash-chain walks with coin-flip " +
+			"byte-equality branches over two-symbol text",
+		Entry:           main.Base,
+		Image:           mustImage(main, sliceProg),
+		Slices:          []*slicehw.Slice{sl},
+		InitMem:         initMem,
+		SuggestedRun:    400_000,
+		SuggestedWarmup: 150_000,
+	}
+}

@@ -1,0 +1,164 @@
+package workloads
+
+import (
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/slicehw"
+)
+
+// Mcf reproduces mcf's network-simplex refresh: the program repeatedly
+// walks linked lists of arc nodes scattered over a 4 MB arena (larger than
+// the L2), loading each node's cost and comparing it against the current
+// pivot. The node loads miss to memory and the cost branch is
+// data-dependent and unbiased.
+//
+// One long-running "background" slice (§6.1) forked at the start of each
+// list walk chases the *next* list's pointers, pulling node lines toward
+// the L1 a full list ahead; since it loads each node's cost anyway, its
+// compare doubles as the PGI for the cost branch (slice aggregation,
+// §3.2). It terminates by dereferencing the null list end — the exception
+// termination of §3.2 — or by its profiled iteration bound. Without the
+// full-list hoist this slice would be "consistently late", which is
+// exactly what the paper reports for its mcf tree prefetcher.
+func Mcf() *Workload {
+	const (
+		nLists   = 1024
+		nPer     = 32 // nodes per list
+		nNodes   = nLists * nPer
+		nodeSize = 64
+		arena    = uint64(0x1000000) // 2 MB of nodes at 64 B — stride-scattered
+		heads    = uint64(DataBase)  // list-head pointer array
+		outerBig = 1 << 40
+	)
+	const (
+		rOuter = isa.Reg(1)
+		rList  = isa.Reg(2)
+		rHeadP = isa.Reg(3)
+		rNode  = isa.Reg(4)
+		rCost  = isa.Reg(5)
+		rCmp   = isa.Reg(6)
+		rCount = isa.Reg(7)
+		rTmp   = isa.Reg(8)
+		rAcc   = isa.Reg(9)
+		rAcc2  = isa.Reg(10)
+		rHeads = isa.Reg(27)
+		rNL    = isa.Reg(26)
+		rPivot = isa.Reg(25)
+	)
+
+	b := asm.NewBuilder(MainBase)
+	b.Li(isa.GP, int64(GlobalBase))
+	b.Li(rHeads, int64(heads))
+	b.I(isa.LDI, rNL, 0, nLists)
+	b.Li(rPivot, 1<<19) // median of the 20-bit cost distribution
+	b.Li(rOuter, outerBig)
+
+	b.Label("outer")
+	b.I(isa.LDI, rList, 0, 0)
+	b.Label("list_loop") // fork point for both slices
+	b.R(isa.S8ADD, rHeadP, rList, rHeads)
+	b.Ld(rNode, 0, rHeadP)
+	b.B(isa.BEQ, rNode, "next_list")
+
+	b.Label("walk")
+	b.Label("ld_cost")
+	b.Ld(rCost, 8, rNode) //                       ← problem load
+	// Arc bookkeeping: the per-node work of the simplex refresh.
+	b.R(isa.ADD, rAcc, rAcc, rCost)
+	b.I(isa.XORI, rTmp, rCost, 0x3F)
+	b.R(isa.ADD, rAcc2, rAcc2, rTmp)
+	b.I(isa.SRLI, rTmp, rAcc, 3)
+	b.R(isa.XOR, rAcc2, rAcc2, rTmp)
+	b.R(isa.CMPLT, rCmp, rCost, rPivot)
+	b.Label("cost_branch")
+	b.B(isa.BEQ, rCmp, "skip") //                  ← problem branch
+	b.I(isa.ADDI, rCount, rCount, 1)
+	b.Label("skip")
+	b.Label("ld_next")
+	b.Ld(rNode, 0, rNode) // node = node->next     ← problem load
+	b.Label("walk_latch")
+	b.B(isa.BNE, rNode, "walk") //                 loop-iteration kill PC
+
+	b.Label("next_list") //                        slice kill PC
+	b.I(isa.ADDI, rList, rList, 1)
+	b.R(isa.CMPLT, rTmp, rList, rNL)
+	b.B(isa.BNE, rTmp, "list_loop")
+	b.I(isa.ADDI, rOuter, rOuter, -1)
+	b.B(isa.BGT, rOuter, "outer")
+	b.Halt()
+	main := b.MustBuild()
+
+	// Background chase of list i+1: prefetches the node lines a full list
+	// ahead and, since it loads each cost anyway, its compare doubles as
+	// the PGI for the cost branch (slice aggregation, §3.2).
+	sb := asm.NewBuilder(SliceBase)
+	sb.Label("chase")
+	sb.I(isa.ADDI, 2, rList, 1) // next list index
+	sb.I(isa.CMPLTI, 8, 2, nLists)
+	sb.R(isa.CMOVEQ, 2, 8, isa.Zero) // wrap to list 0
+	sb.R(isa.S8ADD, 3, 2, rHeads)
+	sb.Ld(4, 0, 3) // node = head[i+1]
+	sb.Label("chase_loop")
+	sb.Ld(5, 8, 4) // cost field (prefetches the node line)
+	sb.Label("chase_pgi")
+	sb.R(isa.CMPLT, 6, 5, rPivot) // (cost < pivot) PRED
+	sb.Ld(4, 0, 4)                // next — terminates by null dereference
+	sb.Label("chase_back")
+	sb.Br("chase_loop")
+	chaseProg := sb.MustBuild()
+
+	chase := &slicehw.Slice{
+		Name:       "mcf.chase_next",
+		ForkPC:     main.PC("list_loop"),
+		SlicePC:    chaseProg.PC("chase"),
+		LiveIns:    []isa.Reg{rList, rHeads, rPivot},
+		MaxLoops:   nPer + 8,
+		LoopBackPC: chaseProg.PC("chase_back"),
+		PGIs: []slicehw.PGI{{
+			SlicePC:     chaseProg.PC("chase_pgi"),
+			BranchPC:    main.PC("cost_branch"),
+			TakenIfZero: true,
+		}},
+		LoopKillPC:         main.PC("walk_latch"),
+		SliceKillPC:        main.PC("next_list"),
+		SliceKillSkipFirst: true,
+		CoveredLoadPCs:     []uint64{main.PC("ld_cost"), main.PC("ld_next")},
+	}
+	countStatic(chaseProg, chase, "chase_loop")
+
+	initMem := func(m *mem.Memory) {
+		r := newRand(1337)
+		// Scatter nodes: a permutation of the arena slots defeats the
+		// stream prefetcher, like mcf's pointer-heavy tree.
+		slots := r.perm(nNodes)
+		idx := 0
+		for l := 0; l < nLists; l++ {
+			var prev uint64
+			for k := 0; k < nPer; k++ {
+				addr := arena + uint64(slots[idx])*nodeSize*2 // 2x stride: 4 MB footprint
+				idx++
+				if k == 0 {
+					m.WriteU64(heads+uint64(l)*8, addr)
+				} else {
+					m.WriteU64(prev, addr)
+				}
+				m.WriteU64(addr+8, uint64(r.intn(1<<20))) // cost
+				prev = addr
+			}
+			m.WriteU64(prev, 0) // null terminator
+		}
+	}
+
+	return &Workload{
+		Name: "mcf",
+		Description: "network simplex refresh: scattered linked-list walks with " +
+			"memory-latency-bound node loads and unbiased cost compares",
+		Entry:           main.Base,
+		Image:           mustImage(main, chaseProg),
+		Slices:          []*slicehw.Slice{chase},
+		InitMem:         initMem,
+		SuggestedRun:    400_000,
+		SuggestedWarmup: 150_000,
+	}
+}

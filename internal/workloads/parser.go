@@ -1,0 +1,163 @@
+package workloads
+
+import (
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/slicehw"
+)
+
+// Parser reproduces the two slice-construction failures of §6.2: (1) hash
+// probes whose key generation is computationally intensive (a 16-round
+// mixing loop immediately before the problem instructions — replicating
+// it makes the slice as slow as the program), and (2) a stack-discipline
+// deallocator whose cascades are triggered unpredictably.
+//
+// The included slice is the paper's honest failure: it must replicate the
+// key generation, so its predictions arrive no earlier than the main
+// thread's own resolution, and the overhead roughly cancels the benefit.
+func Parser() *Workload {
+	const (
+		tabEnts  = 1 << 19 // 512K-entry table, 4 MB — misses to memory
+		tabBase  = uint64(0x1000000)
+		chunkN   = 16384
+		chunkArn = uint64(0x400000)
+		keyRound = 16
+		outerBig = 1 << 40
+	)
+	const (
+		rOuter = isa.Reg(1)
+		rSeed  = isa.Reg(2)
+		rKey   = isa.Reg(3)
+		rI     = isa.Reg(4)
+		rH     = isa.Reg(5)
+		rSlot  = isa.Reg(6)
+		rCmp   = isa.Reg(7)
+		rCasc  = isa.Reg(8)
+		rTmp   = isa.Reg(9)
+		rAddr  = isa.Reg(10)
+		rCnt   = isa.Reg(11)
+		rChk   = isa.Reg(12)
+		rTab   = isa.Reg(27)
+		rChks  = isa.Reg(26)
+		rRng   = isa.Reg(20)
+	)
+
+	b := asm.NewBuilder(MainBase)
+	b.Li(isa.GP, int64(GlobalBase))
+	b.Li(rTab, int64(tabBase))
+	b.Li(rChks, int64(chunkArn))
+	b.Li(rRng, 0x5851F42D4C957F2D)
+	b.Li(rOuter, outerBig)
+
+	b.Label("parse_loop")
+	xorshift(b, rRng, rTmp)
+	b.Mov(rSeed, rRng)
+	b.Label("parse_word") // fork point
+	// Key generation: 16 mixing rounds (the >50 instructions the paper
+	// says would have to be replicated).
+	b.Mov(rKey, rSeed)
+	b.I(isa.LDI, rI, 0, keyRound)
+	b.Label("keygen_loop")
+	b.I(isa.SLLI, rTmp, rKey, 5)
+	b.R(isa.XOR, rKey, rKey, rTmp)
+	b.I(isa.SRLI, rTmp, rKey, 11)
+	b.R(isa.XOR, rKey, rKey, rTmp)
+	b.I(isa.ADDI, rI, rI, -1)
+	b.B(isa.BGT, rI, "keygen_loop")
+	// Probe.
+	b.I(isa.ANDI, rH, rKey, tabEnts-1)
+	b.R(isa.S8ADD, rAddr, rH, rTab)
+	b.Label("ld_slot")
+	b.Ld(rSlot, 0, rAddr) //                       ← problem load
+	b.R(isa.CMPLT, rCmp, rSlot, rKey)
+	b.Label("probe_branch")
+	b.B(isa.BEQ, rCmp, "no_hit") //                ← problem branch
+	b.I(isa.ADDI, rCnt, rCnt, 1)
+	b.Label("no_hit") //                           slice kill
+	// Deallocation cascade, triggered unpredictably (p=1/2): walk the
+	// chunk free-list whose work was deferred (xfree, §6.2).
+	b.I(isa.ANDI, rTmp, rKey, 1)
+	b.B(isa.BEQ, rTmp, "no_cascade")
+	b.I(isa.ANDI, rTmp, rKey, chunkN-1)
+	b.R(isa.S8ADD, rAddr, rTmp, rChks)
+	b.Ld(rChk, 0, rAddr) // chunk head
+	b.I(isa.LDI, rCasc, 0, 4)
+	b.Label("casc_loop")
+	b.B(isa.BEQ, rChk, "no_cascade")
+	b.Label("ld_chunk")
+	b.Ld(rChk, 0, rChk) //                         ← problem load (scattered)
+	b.I(isa.ADDI, rCasc, rCasc, -1)
+	b.B(isa.BGT, rCasc, "casc_loop")
+	b.Label("no_cascade")
+	b.I(isa.ADDI, rOuter, rOuter, -1)
+	b.B(isa.BGT, rOuter, "parse_loop")
+	b.Halt()
+	main := b.MustBuild()
+
+	// The failure-mode slice: it must replicate the entire key
+	// generation, so it finishes no earlier than the program does.
+	sb := asm.NewBuilder(SliceBase)
+	sb.Label("slice")
+	sb.Mov(2, rSeed)
+	sb.I(isa.LDI, 3, 0, keyRound)
+	sb.Label("slice_loop")
+	sb.I(isa.SLLI, 4, 2, 5)
+	sb.R(isa.XOR, 2, 2, 4)
+	sb.I(isa.SRLI, 4, 2, 11)
+	sb.R(isa.XOR, 2, 2, 4)
+	sb.I(isa.ADDI, 3, 3, -1)
+	sb.Label("slice_back")
+	sb.B(isa.BGT, 3, "slice_loop")
+	sb.I(isa.ANDI, 5, 2, tabEnts-1)
+	sb.R(isa.S8ADD, 6, 5, rTab)
+	sb.Ld(7, 0, 6) // slot (prefetch, but late)
+	sb.Label("slice_pgi")
+	sb.R(isa.CMPLT, 8, 7, 2) // (slot < key) PRED — chronically late
+	sb.Halt()
+	sliceProg := sb.MustBuild()
+
+	sl := &slicehw.Slice{
+		Name:       "parser.hash_probe",
+		ForkPC:     main.PC("parse_word"),
+		SlicePC:    sliceProg.PC("slice"),
+		LiveIns:    []isa.Reg{rSeed, rTab},
+		MaxLoops:   keyRound + 4,
+		LoopBackPC: sliceProg.PC("slice_back"),
+		PGIs: []slicehw.PGI{{
+			SlicePC:     sliceProg.PC("slice_pgi"),
+			BranchPC:    main.PC("probe_branch"),
+			TakenIfZero: true,
+		}},
+		SliceKillPC:    main.PC("no_hit"),
+		CoveredLoadPCs: []uint64{main.PC("ld_slot")},
+	}
+	countStatic(sliceProg, sl, "slice_loop")
+
+	initMem := func(m *mem.Memory) {
+		r := newRand(8128)
+		for i := 0; i < tabEnts; i += 16 {
+			// Sparse init: the table reads as zero elsewhere, which only
+			// biases the compare slightly.
+			m.WriteU64(tabBase+uint64(i)*8, uint64(r.next()))
+		}
+		// Chunk free-lists: short scattered chains.
+		for i := 0; i < chunkN; i++ {
+			head := chunkArn + uint64(chunkN+r.intn(chunkN*4))*64
+			m.WriteU64(chunkArn+uint64(i)*8, head)
+			m.WriteU64(head, 0)
+		}
+	}
+
+	return &Workload{
+		Name: "parser",
+		Description: "link-grammar parsing: hash probes behind expensive key " +
+			"generation plus unpredictable deallocation cascades (§6.2 failure case)",
+		Entry:           main.Base,
+		Image:           mustImage(main, sliceProg),
+		Slices:          []*slicehw.Slice{sl},
+		InitMem:         initMem,
+		SuggestedRun:    400_000,
+		SuggestedWarmup: 150_000,
+	}
+}

@@ -1,0 +1,155 @@
+package workloads
+
+import (
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/slicehw"
+)
+
+// Perl reproduces the interpreter's symbol-table probes: hash-bucket
+// chains of scattered entries, walked to find the ordered insertion point
+// for a new key. The entry loads miss and the ordering compare is
+// unbiased — the same "dereference then test" shape as vpr's heap.
+//
+// The slice chases the same chain, prefetching entries and predicting the
+// ordering branch; it terminates at the chain's null pointer (exception
+// termination) or its iteration bound.
+func Perl() *Workload {
+	const (
+		nBuckets = 16384
+		chainLen = 6
+		heads    = uint64(DataBase)
+		arena    = uint64(0x800000)
+		outerBig = 1 << 40
+	)
+	const (
+		rOuter = isa.Reg(1)
+		rKey   = isa.Reg(2)
+		rH     = isa.Reg(3)
+		rEnt   = isa.Reg(4)
+		rK     = isa.Reg(5)
+		rCmp   = isa.Reg(6)
+		rVal   = isa.Reg(7)
+		rTmp   = isa.Reg(9)
+		rAddr  = isa.Reg(10)
+		rAcc   = isa.Reg(11)
+		rHeads = isa.Reg(27)
+		rRng   = isa.Reg(20)
+	)
+
+	b := asm.NewBuilder(MainBase)
+	b.Li(isa.GP, int64(GlobalBase))
+	b.Li(rHeads, int64(heads))
+	b.Li(rRng, 0x20761D6478BD642F)
+	b.Li(rOuter, outerBig)
+
+	b.Label("interp_loop")
+	xorshift(b, rRng, rTmp)
+	b.I(isa.ANDI, rKey, rRng, 0xFFFFF)
+	b.I(isa.SRLI, rH, rRng, 30)
+	b.I(isa.ANDI, rH, rH, nBuckets-1)
+	b.Label("hash_lookup") // fork point
+	// Hash mixing the fork is hoisted past.
+	for i := 0; i < 5; i++ {
+		b.I(isa.ADDI, rAcc, rAcc, 1)
+		b.I(isa.XORI, rTmp, rAcc, 0x19)
+	}
+	b.R(isa.S8ADD, rAddr, rH, rHeads)
+	b.Ld(rEnt, 0, rAddr) // bucket head
+
+	b.Label("probe_loop")
+	b.B(isa.BEQ, rEnt, "probe_done")
+	b.Label("ld_entkey")
+	b.Ld(rK, 0, rEnt) //                           ← problem load
+	b.R(isa.CMPLT, rCmp, rK, rKey)
+	b.Label("probe_branch")
+	b.B(isa.BEQ, rCmp, "probe_done") //            ← problem branch (ordered insert)
+	b.Ld(rVal, 16, rEnt)
+	b.R(isa.ADD, rAcc, rAcc, rVal)
+	b.Label("ld_next")
+	b.Ld(rEnt, 8, rEnt) //                         ← problem load
+	b.Label("probe_latch")
+	b.Br("probe_loop")    //                          loop-iteration kill
+	b.Label("probe_done") //                       slice kill
+	b.I(isa.ADDI, rOuter, rOuter, -1)
+	b.B(isa.BGT, rOuter, "interp_loop")
+	b.Halt()
+	main := b.MustBuild()
+
+	sb := asm.NewBuilder(SliceBase)
+	sb.Label("slice")
+	// Hoisted one lookup ahead: replicate the state update twice for the
+	// next key and bucket, then chase that chain.
+	sb.Mov(10, rRng)
+	for k := 0; k < 2; k++ {
+		xorshift(sb, 10, 11)
+	}
+	sb.I(isa.ANDI, 12, 10, 0xFFFFF) // key'
+	sb.I(isa.SRLI, 13, 10, 30)
+	sb.I(isa.ANDI, 13, 13, nBuckets-1)
+	sb.R(isa.S8ADD, 14, 13, rHeads)
+	sb.Ld(15, 0, 14) // bucket head
+	sb.Label("slice_loop")
+	sb.Ld(16, 0, 15) // entry key (prefetch; null → exception terminates)
+	sb.Label("slice_pgi")
+	sb.R(isa.CMPLT, 17, 16, 12) // (k < key') PRED
+	sb.Ld(15, 8, 15)            // next (prefetch)
+	sb.Label("slice_back")
+	sb.Br("slice_loop")
+	sliceProg := sb.MustBuild()
+
+	sl := &slicehw.Slice{
+		Name:       "perl.hash_probe_next",
+		ForkPC:     main.PC("interp_loop"),
+		SlicePC:    sliceProg.PC("slice"),
+		LiveIns:    []isa.Reg{rRng, rHeads},
+		MaxLoops:   chainLen + 3,
+		LoopBackPC: sliceProg.PC("slice_back"),
+		PGIs: []slicehw.PGI{{
+			SlicePC:     sliceProg.PC("slice_pgi"),
+			BranchPC:    main.PC("probe_branch"),
+			TakenIfZero: true,
+		}},
+		LoopKillPC:         main.PC("probe_latch"),
+		SliceKillPC:        main.PC("probe_done"),
+		SliceKillSkipFirst: true,
+		CoveredLoadPCs:     []uint64{main.PC("ld_entkey"), main.PC("ld_next")},
+	}
+	countStatic(sliceProg, sl, "slice_loop")
+
+	initMem := func(m *mem.Memory) {
+		r := newRand(5150)
+		slots := r.perm(nBuckets * chainLen)
+		idx := 0
+		for bkt := 0; bkt < nBuckets; bkt++ {
+			var prev uint64
+			n := 2 + r.intn(chainLen-1)
+			for k := 0; k < n; k++ {
+				addr := arena + uint64(slots[idx])*64
+				idx++
+				if k == 0 {
+					m.WriteU64(heads+uint64(bkt)*8, addr)
+				} else {
+					m.WriteU64(prev+8, addr)
+				}
+				m.WriteU64(addr, uint64(r.intn(1<<20)))    // key
+				m.WriteU64(addr+16, uint64(r.intn(1<<10))) // value
+				m.WriteU64(addr+8, 0)                      // next (patched)
+				prev = addr
+			}
+		}
+	}
+
+	return &Workload{
+		Name: "perl",
+		Description: "interpreter symbol-table probes: scattered hash chains with " +
+			"unbiased ordered-insert compares",
+		Entry:           main.Base,
+		Image:           mustImage(main, sliceProg),
+		Slices:          []*slicehw.Slice{sl},
+		InitMem:         initMem,
+		SuggestedRun:    400_000,
+		SuggestedWarmup: 150_000,
+	}
+}

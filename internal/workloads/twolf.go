@@ -1,0 +1,151 @@
+package workloads
+
+import (
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/slicehw"
+)
+
+// Twolf reproduces the standard-cell annealer's inner step: two random
+// cell records are fetched from a 2 MB arena (both loads miss), a move
+// cost delta is computed, and the accept/reject branch — driven by the
+// delta against an annealing threshold — is unbiased.
+//
+// The slice is forked as soon as the cell indices exist, loads both
+// records (prefetching them), and computes the accept predicate and a
+// secondary range predicate as PGIs. It is straight-line (no loop).
+func Twolf() *Workload {
+	const (
+		nCells   = 65536
+		cellSize = 32
+		arena    = uint64(0x400000) // 2 MB of cells
+		outerBig = 1 << 40
+	)
+	const (
+		rOuter = isa.Reg(1)
+		rIA    = isa.Reg(2)
+		rIB    = isa.Reg(3)
+		rAddrA = isa.Reg(4)
+		rAddrB = isa.Reg(5)
+		rCostA = isa.Reg(6)
+		rCostB = isa.Reg(7)
+		rDelta = isa.Reg(8)
+		rTmp   = isa.Reg(9)
+		rAcc   = isa.Reg(10)
+		rPred  = isa.Reg(11)
+		rArena = isa.Reg(27)
+		rThr   = isa.Reg(25)
+		rRng   = isa.Reg(20)
+	)
+
+	b := asm.NewBuilder(MainBase)
+	b.Li(isa.GP, int64(GlobalBase))
+	b.Li(rArena, int64(arena))
+	b.Li(rThr, 0) // annealing threshold: accept when delta ≤ 0
+	b.Li(rRng, 0x56E8FEB86659FD93)
+	b.Li(rOuter, outerBig)
+
+	b.Label("anneal_loop")
+	xorshift(b, rRng, rTmp)
+	b.I(isa.ANDI, rIA, rRng, nCells-1)
+	b.I(isa.SRLI, rTmp, rRng, 20)
+	b.I(isa.ANDI, rIB, rTmp, nCells-1)
+	b.Label("eval_swap") // fork point
+	// Net-list bookkeeping the fork is hoisted past.
+	for i := 0; i < 7; i++ {
+		b.I(isa.ADDI, rAcc, rAcc, 1)
+		b.I(isa.XORI, rTmp, rAcc, 0x4C)
+	}
+	b.I(isa.SLLI, rAddrA, rIA, 5)
+	b.R(isa.ADD, rAddrA, rAddrA, rArena)
+	b.I(isa.SLLI, rAddrB, rIB, 5)
+	b.R(isa.ADD, rAddrB, rAddrB, rArena)
+	b.Label("ld_cellA")
+	b.Ld(rCostA, 0, rAddrA) //                     ← problem load
+	b.Label("ld_cellB")
+	b.Ld(rCostB, 0, rAddrB) //                     ← problem load
+	b.R(isa.SUB, rDelta, rCostA, rCostB)
+	b.R(isa.CMPLE, rPred, rDelta, rThr)
+	b.Label("accept_branch")
+	b.B(isa.BEQ, rPred, "reject") //               ← problem branch (unbiased)
+	// Accept: swap the cost fields.
+	b.St(rCostB, 0, rAddrA)
+	b.St(rCostA, 0, rAddrB)
+	b.I(isa.ADDI, rAcc, rAcc, 1)
+	b.Br("range_check")
+	b.Label("reject")
+	b.I(isa.ADDI, rTmp, rTmp, 1)
+	b.Label("range_check")
+	// Secondary predicate: is the move "local"?
+	b.R(isa.SUB, rTmp, rIA, rIB)
+	b.R(isa.CMPLT, rPred, rTmp, isa.Zero)
+	b.Label("range_branch")
+	b.B(isa.BEQ, rPred, "nonlocal") //             ← second problem branch
+	b.I(isa.ADDI, rAcc, rAcc, 2)
+	b.Label("nonlocal")
+	b.Label("swap_done") //                        slice kill
+	b.I(isa.ADDI, rOuter, rOuter, -1)
+	b.B(isa.BGT, rOuter, "anneal_loop")
+	b.Halt()
+	main := b.MustBuild()
+
+	sb := asm.NewBuilder(SliceBase)
+	sb.Label("slice")
+	// Advance the state twice (the fork precedes iteration i's update) to
+	// reach iteration i+1's cell indices — the paper's fork hoisting.
+	sb.Mov(10, rRng)
+	for k := 0; k < 2; k++ {
+		xorshift(sb, 10, 11)
+	}
+	sb.I(isa.ANDI, 12, 10, nCells-1) // ia'
+	sb.I(isa.SRLI, 13, 10, 20)
+	sb.I(isa.ANDI, 13, 13, nCells-1) // ib'
+	sb.I(isa.SLLI, 14, 12, 5)
+	sb.R(isa.ADD, 14, 14, rArena)
+	sb.I(isa.SLLI, 15, 13, 5)
+	sb.R(isa.ADD, 15, 15, rArena)
+	sb.Ld(4, 0, 14) // cell A (prefetch)
+	sb.Ld(5, 0, 15) // cell B (prefetch)
+	sb.R(isa.SUB, 6, 4, 5)
+	sb.Label("slice_pgi_accept")
+	sb.R(isa.CMPLE, 7, 6, isa.Zero) // accept? PRED
+	sb.R(isa.SUB, 8, 12, 13)
+	sb.Label("slice_pgi_range")
+	sb.R(isa.CMPLT, 9, 8, isa.Zero) // local? PRED
+	sliceProg := sb.MustBuild()
+
+	sl := &slicehw.Slice{
+		Name:    "twolf.eval_next_swap",
+		ForkPC:  main.PC("anneal_loop"),
+		SlicePC: sliceProg.PC("slice"),
+		LiveIns: []isa.Reg{rRng, rArena},
+		PGIs: []slicehw.PGI{
+			{SlicePC: sliceProg.PC("slice_pgi_accept"), BranchPC: main.PC("accept_branch"), TakenIfZero: true},
+			{SlicePC: sliceProg.PC("slice_pgi_range"), BranchPC: main.PC("range_branch"), TakenIfZero: true},
+		},
+		SliceKillPC:        main.PC("swap_done"),
+		SliceKillSkipFirst: true,
+		CoveredLoadPCs:     []uint64{main.PC("ld_cellA"), main.PC("ld_cellB")},
+	}
+	countStatic(sliceProg, sl, "")
+
+	initMem := func(m *mem.Memory) {
+		r := newRand(9090)
+		for i := 0; i < nCells; i++ {
+			m.WriteU64(arena+uint64(i)*cellSize, uint64(r.intn(1<<20)))
+		}
+	}
+
+	return &Workload{
+		Name: "twolf",
+		Description: "standard-cell annealing: random cell pair fetches and an " +
+			"unbiased accept/reject branch",
+		Entry:           main.Base,
+		Image:           mustImage(main, sliceProg),
+		Slices:          []*slicehw.Slice{sl},
+		InitMem:         initMem,
+		SuggestedRun:    400_000,
+		SuggestedWarmup: 150_000,
+	}
+}

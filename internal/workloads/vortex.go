@@ -1,0 +1,117 @@
+package workloads
+
+import (
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/slicehw"
+)
+
+// Vortex reproduces the OO-database profile: high base IPC from ILP-rich
+// object processing, mostly sequential access (the stream prefetcher
+// covers it), predictable branches — and one occasional random object
+// dereference that misses. With the machine already near peak throughput,
+// the opportunity cost of slice execution is high (§6.2), so the tiny
+// prefetch-only slice buys very little, as in the paper.
+func Vortex() *Workload {
+	const (
+		nObjs    = 32768
+		objSize  = 64
+		arena    = uint64(0x400000) // 2 MB of objects
+		outerBig = 1 << 40
+	)
+	const (
+		rOuter = isa.Reg(1)
+		rIdx   = isa.Reg(2)
+		rAddr  = isa.Reg(3)
+		rObj   = isa.Reg(4)
+		rRnd   = isa.Reg(5)
+		rTmp   = isa.Reg(9)
+		rArena = isa.Reg(27)
+		rRng   = isa.Reg(20)
+		rXAddr = isa.Reg(12)
+	)
+
+	b := asm.NewBuilder(MainBase)
+	b.Li(isa.GP, int64(GlobalBase))
+	b.Li(rArena, int64(arena))
+	b.Li(rRng, 0x0EBC6AF09C88C6E3)
+	b.Li(rOuter, outerBig)
+
+	b.Label("txn_loop")
+	xorshift(b, rRng, rTmp)
+	// Compute the random cross-reference index early — the slice's root.
+	b.I(isa.ANDI, rRnd, rRng, nObjs-1)
+	b.Label("process_obj") // fork point
+	// Sequential object access plus ILP-rich field processing.
+	b.I(isa.ADDI, rIdx, rIdx, 1)
+	b.I(isa.ANDI, rTmp, rIdx, nObjs-1)
+	b.I(isa.SLLI, rAddr, rTmp, 6)
+	b.R(isa.ADD, rAddr, rAddr, rArena)
+	b.Ld(rObj, 0, rAddr) // sequential: stream prefetcher covers it
+	for r := isa.Reg(13); r < 19; r++ {
+		b.I(isa.ADDI, r, r, 5)
+		b.R(isa.XOR, r, r, rObj)
+	}
+	// Occasional random cross-reference (1 in 8 transactions). The fork
+	// point sits inside the taken path: §6.3's context gating — only the
+	// profitable contexts fork, keeping overhead off the common path.
+	b.I(isa.ANDI, rTmp, rRng, 7)
+	b.B(isa.BNE, rTmp, "no_xref")
+	b.Label("do_xref") // fork point
+	// Reference validation work between the fork and the dereference.
+	for i := 0; i < 6; i++ {
+		b.I(isa.ADDI, isa.Reg(14), isa.Reg(14), 1)
+		b.I(isa.XORI, isa.Reg(15), isa.Reg(14), 0x21)
+	}
+	b.I(isa.SLLI, rXAddr, rRnd, 6)
+	b.R(isa.ADD, rXAddr, rXAddr, rArena)
+	b.Label("ld_xref")
+	b.Ld(rObj, 8, rXAddr) //                       ← problem load
+	b.R(isa.ADD, isa.Reg(13), isa.Reg(13), rObj)
+	b.Label("no_xref")
+	b.Label("txn_done") // slice kill (unused: prefetch-only slice)
+	b.I(isa.ADDI, rOuter, rOuter, -1)
+	b.B(isa.BGT, rOuter, "txn_loop")
+	b.Halt()
+	main := b.MustBuild()
+
+	// Prefetch-only slice: 4 static instructions, 1 live-in root, like
+	// the paper's vortex slice (Table 3: pref 1, pred 0, kills 0).
+	sb := asm.NewBuilder(SliceBase)
+	sb.Label("slice")
+	sb.I(isa.SLLI, 2, rRnd, 6)
+	sb.R(isa.ADD, 2, 2, rArena)
+	sb.Ld(3, 8, 2) // cross-reference target (prefetch)
+	sb.Halt()
+	sliceProg := sb.MustBuild()
+
+	sl := &slicehw.Slice{
+		Name:           "vortex.xref_prefetch",
+		ForkPC:         main.PC("do_xref"),
+		SlicePC:        sliceProg.PC("slice"),
+		LiveIns:        []isa.Reg{rRnd, rArena},
+		CoveredLoadPCs: []uint64{main.PC("ld_xref")},
+	}
+	countStatic(sliceProg, sl, "")
+
+	initMem := func(m *mem.Memory) {
+		r := newRand(31415)
+		for i := 0; i < nObjs; i++ {
+			m.WriteU64(arena+uint64(i)*objSize, uint64(r.intn(1<<16)))
+			m.WriteU64(arena+uint64(i)*objSize+8, uint64(r.intn(1<<16)))
+		}
+	}
+
+	return &Workload{
+		Name: "vortex",
+		Description: "OO database transactions: high base IPC, sequential access, " +
+			"one occasional random cross-reference miss",
+		Entry:           main.Base,
+		Image:           mustImage(main, sliceProg),
+		Slices:          []*slicehw.Slice{sl},
+		InitMem:         initMem,
+		SuggestedRun:    400_000,
+		SuggestedWarmup: 100_000,
+	}
+}

@@ -1,0 +1,188 @@
+package workloads
+
+import (
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/slicehw"
+)
+
+// VPR reproduces the paper's running example (Figure 2): the heap
+// insertion loop of vpr's timing-driven placer. Each iteration computes a
+// pseudo-random cost, allocates a record, and trickles it up a binary heap
+// stored as an array of pointers. The heap spans 128 KB (larger than the
+// L1), so the heap[ito] dereference chain misses, and the cost comparison
+// branch is unbiased — the two problem instructions of Figure 2.
+//
+// The slice is the paper's Figure 5, almost literally: it takes cost, the
+// heap tail, and gp as live-ins, halves the index each iteration,
+// dereferences heap[ito]->cost (prefetching both problem loads), and its
+// compare is the PGI for the trickle-exit branch. Loop exit computation is
+// omitted entirely; a profiled maximum iteration count terminates it.
+func VPR() *Workload {
+	const (
+		heapN    = 16384 // heap slots; 128 KB of pointers
+		recN     = 16384 // records, 64 B apart (1 MB region)
+		heapArr  = uint64(DataBase)
+		recBase  = uint64(0x800000)
+		seed     = 0x1E3779B97F4A7C15
+		outerBig = 1 << 40
+	)
+	// Register roles.
+	const (
+		rOuter = isa.Reg(1)
+		rIfrom = isa.Reg(2)  // ifrom
+		rHeapM = isa.Reg(3)  // &heap[ifrom] (transient)
+		rIto   = isa.Reg(4)  // ito
+		rHeap  = isa.Reg(5)  // &heap[0]
+		rTmp   = isa.Reg(9)  // scratch
+		rFillA = isa.Reg(10) // filler accumulators
+		rEFrom = isa.Reg(11) // heap[ifrom]
+		rETo   = isa.Reg(12) // heap[ito]
+		rCFrom = isa.Reg(13) // heap[ifrom]->cost
+		rCTo   = isa.Reg(14) // heap[ito]->cost
+		rCmp   = isa.Reg(15)
+		rRng   = isa.Reg(20)
+		rRec   = isa.Reg(21) // hptr
+		rCost  = isa.Reg(22)
+		rAlloc = isa.Reg(23)
+		rTail  = isa.Reg(24) // heap_tail (kept in a register)
+		rRecB  = isa.Reg(27)
+		rWrapV = isa.Reg(28) // reset value N/2
+		rLimit = isa.Reg(29) // N
+	)
+
+	b := asm.NewBuilder(MainBase)
+	b.Li(isa.GP, int64(GlobalBase))
+	b.Li(rRecB, int64(recBase))
+	b.Li(rRng, seed)
+	b.I(isa.LDI, rAlloc, 0, 0)
+	b.Li(rTail, heapN/2)
+	b.Li(rWrapV, heapN/2)
+	b.Li(rLimit, heapN)
+	b.Li(rOuter, outerBig)
+
+	b.Label("loop")
+	xorshift(b, rRng, rTmp)
+	b.I(isa.ANDI, rCost, rRng, 0xFFFFF) // 20-bit cost
+
+	// --- node_to_heap (fork point: Figure 3) ---
+	b.Label("node_to_heap")
+	// hptr = alloc_heap_data(): cycle through the record arena.
+	b.I(isa.ANDI, rTmp, rAlloc, recN-1)
+	b.I(isa.SLLI, rTmp, rTmp, 6)
+	b.R(isa.ADD, rRec, rRecB, rTmp)
+	b.I(isa.ADDI, rAlloc, rAlloc, 1)
+	// hptr->cost = cost — the invariant the slice's register-allocation
+	// optimization exploits (§3.2): heap[ifrom]->cost always equals cost.
+	b.St(rCost, 0, rRec)
+	// Unrelated field initialization — the ~40 instructions of
+	// node_to_heap the fork is hoisted past.
+	b.St(isa.Zero, 8, rRec)
+	b.St(rAlloc, 16, rRec)
+	b.St(rRng, 24, rRec)
+	b.St(isa.Zero, 32, rRec)
+	b.St(isa.Zero, 40, rRec)
+	b.St(rCost, 48, rRec)
+	for i := 0; i < 14; i++ {
+		b.I(isa.ADDI, rFillA, rFillA, 1)
+		b.I(isa.XORI, rTmp, rFillA, 0x55)
+	}
+
+	// --- add_to_heap (Figure 2 / Figure 4) ---
+	b.Ld(rHeap, 8, isa.GP) // &heap[0]
+	b.Mov(rIfrom, rTail)   // ifrom = heap_tail
+	b.R(isa.S8ADD, rHeapM, rIfrom, rHeap)
+	b.St(rRec, 0, rHeapM) // heap[heap_tail] = hptr
+	b.I(isa.ADDI, rTail, rTail, 1)
+	// Wrap the tail inside [N/2, N) so the benchmark reaches a steady
+	// state instead of overflowing the arena.
+	b.I(isa.CMPLTI, rTmp, rTail, heapN)
+	b.R(isa.CMOVEQ, rTail, rTmp, rWrapV)
+	b.I(isa.SRAI, rIto, rIfrom, 1) // ito = ifrom/2
+	b.B(isa.BLE, rIto, "ret_blk")
+
+	b.Label("trickle")
+	b.R(isa.S8ADD, rHeapM, rIfrom, rHeap) // &heap[ifrom]
+	b.R(isa.S8ADD, rTmp, rIto, rHeap)     // &heap[ito]
+	b.Ld(rEFrom, 0, rHeapM)               // heap[ifrom]
+	b.Label("ld_heap_ito")
+	b.Ld(rETo, 0, rTmp) // heap[ito]            ← problem load
+	b.Ld(rCFrom, 0, rEFrom)
+	b.Label("ld_cost_ito")
+	b.Ld(rCTo, 0, rETo) // heap[ito]->cost      ← problem load
+	b.R(isa.CMPLT, rCmp, rCFrom, rCTo)
+	b.Label("trickle_exit")
+	b.B(isa.BEQ, rCmp, "ret_blk") //            ← problem branch
+	b.Label("swap")
+	b.St(rEFrom, 0, rTmp) // heap[ito] = heap[ifrom]
+	b.St(rETo, 0, rHeapM) // heap[ifrom] = temp
+	b.Mov(rIfrom, rIto)
+	b.I(isa.SRAI, rIto, rIfrom, 1)
+	b.B(isa.BGT, rIto, "trickle")
+
+	b.Label("ret_blk")
+	b.I(isa.ADDI, rOuter, rOuter, -1)
+	b.B(isa.BGT, rOuter, "loop")
+	b.Halt()
+	main := b.MustBuild()
+
+	// --- The slice (Figure 5) ---
+	sb := asm.NewBuilder(SliceBase)
+	sb.Label("slice")
+	sb.Ld(6, 8, isa.GP) // &heap[0]
+	sb.Mov(7, rTail)    // ito = heap_tail (live-in register copy)
+	sb.Label("slice_loop")
+	sb.I(isa.SRAI, 7, 7, 1)   // ito /= 2 (strength-reduced: §3.2)
+	sb.R(isa.S8ADD, 16, 7, 6) // &heap[ito]
+	sb.Ld(18, 0, 16)          // heap[ito]
+	sb.Ld(19, 0, 18)          // heap[ito]->cost
+	sb.Label("slice_pgi")
+	sb.R(isa.CMPLT, 17, rCost, 19) // (cost < heap[ito]->cost)  PRED
+	sb.Br("slice_loop")
+	sliceProg := sb.MustBuild()
+
+	sl := &slicehw.Slice{
+		Name:       "vpr.add_to_heap",
+		ForkPC:     main.PC("node_to_heap"),
+		SlicePC:    sliceProg.PC("slice"),
+		LiveIns:    []isa.Reg{isa.GP, rCost, rTail},
+		MaxLoops:   12,
+		LoopBackPC: sliceProg.PC("slice_pgi") + isa.InstBytes, // the br
+		PGIs: []slicehw.PGI{{
+			SlicePC:     sliceProg.PC("slice_pgi"),
+			BranchPC:    main.PC("trickle_exit"),
+			TakenIfZero: true, // branch exits when the compare is 0
+		}},
+		LoopKillPC:     main.PC("swap"),
+		SliceKillPC:    main.PC("ret_blk"),
+		CoveredLoadPCs: []uint64{main.PC("ld_heap_ito"), main.PC("ld_cost_ito")},
+	}
+	countStatic(sliceProg, sl, "slice_loop")
+
+	initMem := func(m *mem.Memory) {
+		r := newRand(42)
+		// Globals: heap base pointer at gp+8.
+		m.WriteU64(GlobalBase+8, heapArr)
+		// Records with random costs.
+		for i := 0; i < recN; i++ {
+			m.WriteU64(recBase+uint64(i)*64, uint64(r.intn(1<<20)))
+		}
+		// Heap slots 1..N point at random records.
+		for i := 1; i <= heapN; i++ {
+			m.WriteU64(heapArr+uint64(i)*8, recBase+uint64(r.intn(recN))*64)
+		}
+	}
+
+	return &Workload{
+		Name: "vpr",
+		Description: "timing-driven placement: heap insertion with pointer-indirect cost " +
+			"compares (the paper's running example, Figures 2-5)",
+		Entry:           main.Base,
+		Image:           mustImage(main, sliceProg),
+		Slices:          []*slicehw.Slice{sl},
+		InitMem:         initMem,
+		SuggestedRun:    400_000,
+		SuggestedWarmup: 150_000,
+	}
+}
