@@ -101,6 +101,35 @@ func BenchmarkTable4(b *testing.B) {
 	}
 }
 
+// BenchmarkExperimentsAll regenerates every simulation-backed table and
+// figure through one shared engine — the `experiments -exp all` path —
+// at jobs=1 and jobs=4. The memo cache collapses the cross-driver
+// duplicates (Figure 11 and Table 4 share base and slice runs, Table 2
+// shares Figure 1's 4-wide baseline), and the jobs=4 variant additionally
+// fans the remaining unique runs across cores, so the speedup over
+// jobs=1 scales with available CPUs.
+func BenchmarkExperimentsAll(b *testing.B) {
+	ws := pick(b, "vpr", "gzip", "mcf")
+	for _, jobs := range []int{1, 4} {
+		b.Run(fmt.Sprintf("jobs=%d", jobs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e := harness.NewEngine(benchParams, jobs)
+				e.Table2(ws)
+				e.Figure1(ws)
+				harness.Table3(ws)
+				e.Figure11(ws)
+				e.Table4(ws)
+				if i == 0 {
+					st := e.Stats()
+					b.ReportMetric(float64(st.Misses), "sims")
+					b.ReportMetric(float64(st.Hits), "memo_hits")
+					b.ReportMetric(float64(st.SimInsts), "sim_insts")
+				}
+			}
+		})
+	}
+}
+
 // Per-workload benches: simulated instructions per second and the base vs
 // slice IPC pair for the headline comparison.
 func BenchmarkWorkload(b *testing.B) {

@@ -11,6 +11,11 @@
 //
 // -scale shrinks the measured regions for quick runs (1.0 ≈ a few hundred
 // thousand instructions per run; the paper used 100M-instruction regions).
+//
+// All experiments share one engine, so simulations common to several
+// tables (e.g. the 4-wide baselines, or Figure 11's and Table 4's slice
+// runs) execute once. -jobs bounds the worker pool (default GOMAXPROCS);
+// -v prints one line per simulation plus a final hit/miss summary.
 package main
 
 import (
@@ -25,9 +30,11 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "table1|table2|figure1|table3|figure11|table4|all")
-		scale = flag.Float64("scale", 1.0, "region scale factor")
-		only  = flag.String("workload", "", "restrict to one workload")
+		exp     = flag.String("exp", "all", "table1|table2|figure1|table3|figure11|table4|all")
+		scale   = flag.Float64("scale", 1.0, "region scale factor")
+		only    = flag.String("workload", "", "restrict to one workload")
+		jobs    = flag.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		verbose = flag.Bool("v", false, "log every simulation and the memo summary")
 	)
 	flag.Parse()
 
@@ -40,7 +47,22 @@ func main() {
 		}
 		ws = []*workloads.Workload{w}
 	}
-	p := harness.Params{Scale: *scale}
+
+	e := harness.NewEngine(harness.Params{Scale: *scale}, *jobs)
+	if *verbose {
+		e.Progress = func(ev harness.Event) {
+			mode := "base"
+			if ev.Spec.WithSlices {
+				mode = "slices"
+			}
+			if ev.Memoized {
+				fmt.Fprintf(os.Stderr, "memo  %-8s %-6s %s\n", ev.Spec.Workload, mode, ev.Spec.Cfg.Name)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "run   %-8s %-6s %-6s %9d insts  %s\n",
+				ev.Spec.Workload, mode, ev.Spec.Cfg.Name, ev.Insts, ev.Wall.Round(time.Millisecond))
+		}
+	}
 
 	runExp := func(name string, f func()) {
 		start := time.Now()
@@ -53,24 +75,30 @@ func main() {
 		runExp("table1", func() { fmt.Print(harness.FormatTable1()) })
 	}
 	if all || *exp == "table2" {
-		runExp("table2", func() { fmt.Print(harness.FormatTable2(harness.Table2(ws, p))) })
+		runExp("table2", func() { fmt.Print(harness.FormatTable2(e.Table2(ws))) })
 	}
 	if all || *exp == "figure1" {
-		runExp("figure1", func() { fmt.Print(harness.FormatFigure1(harness.Figure1(ws, p))) })
+		runExp("figure1", func() { fmt.Print(harness.FormatFigure1(e.Figure1(ws))) })
 	}
 	if all || *exp == "table3" {
 		runExp("table3", func() { fmt.Print(harness.FormatTable3(harness.Table3(ws))) })
 	}
 	if all || *exp == "figure11" {
-		runExp("figure11", func() { fmt.Print(harness.FormatFigure11(harness.Figure11(ws, p))) })
+		runExp("figure11", func() { fmt.Print(harness.FormatFigure11(e.Figure11(ws))) })
 	}
 	if all || *exp == "table4" {
-		runExp("table4", func() { fmt.Print(harness.FormatTable4(harness.Table4(ws, p))) })
+		runExp("table4", func() { fmt.Print(harness.FormatTable4(e.Table4(ws))) })
 	}
 	switch *exp {
 	case "all", "table1", "table2", "figure1", "table3", "figure11", "table4":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(1)
+	}
+
+	if *verbose {
+		st := e.Stats()
+		fmt.Fprintf(os.Stderr, "engine: %d simulations, %d memo hits, %d insts simulated, %s sim time\n",
+			st.Misses, st.Hits, st.SimInsts, st.SimWall.Round(time.Millisecond))
 	}
 }

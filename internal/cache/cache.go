@@ -41,11 +41,27 @@ type Cache struct {
 	stats     Stats
 }
 
+// lineShiftFor returns log2(lineBytes), rejecting sizes that are not a
+// positive power of two. Every structure that derives a line shift must go
+// through it: the naive `for 1<<shift != lineBytes` loop spins forever on
+// a bad size instead of failing.
+func lineShiftFor(lineBytes int) (uint, error) {
+	if lineBytes <= 0 || lineBytes&(lineBytes-1) != 0 {
+		return 0, fmt.Errorf("line size %d is not a positive power of two", lineBytes)
+	}
+	shift := uint(0)
+	for 1<<shift != lineBytes {
+		shift++
+	}
+	return shift, nil
+}
+
 // NewCache builds a cache with the given geometry. sizeBytes must be
 // sets*ways*lineBytes; lineBytes and sets must be powers of two.
 func NewCache(name string, sizeBytes, ways, lineBytes int) (*Cache, error) {
-	if lineBytes <= 0 || lineBytes&(lineBytes-1) != 0 {
-		return nil, fmt.Errorf("cache %s: line size %d not a power of two", name, lineBytes)
+	shift, err := lineShiftFor(lineBytes)
+	if err != nil {
+		return nil, fmt.Errorf("cache %s: %v", name, err)
 	}
 	if ways <= 0 || sizeBytes%(ways*lineBytes) != 0 {
 		return nil, fmt.Errorf("cache %s: size %d not divisible by ways*line", name, sizeBytes)
@@ -53,10 +69,6 @@ func NewCache(name string, sizeBytes, ways, lineBytes int) (*Cache, error) {
 	sets := sizeBytes / (ways * lineBytes)
 	if sets&(sets-1) != 0 {
 		return nil, fmt.Errorf("cache %s: set count %d not a power of two", name, sets)
-	}
-	shift := uint(0)
-	for 1<<shift != lineBytes {
-		shift++
 	}
 	return &Cache{
 		name:      name,

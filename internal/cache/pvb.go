@@ -1,5 +1,7 @@
 package cache
 
+import "fmt"
+
 // PVB is the 64-entry unified prefetch/victim buffer. It is fully
 // associative, holds whole L1 lines, and is probed in parallel with the L1
 // on every access (Table 1). Prefetched lines land here rather than in the
@@ -20,10 +22,13 @@ type pvbEntry struct {
 }
 
 // NewPVB builds a prefetch/victim buffer of n whole lines of lineBytes.
+// lineBytes must be a positive power of two; anything else is a
+// configuration bug, reported by panic rather than the former infinite
+// shift-search loop.
 func NewPVB(n, lineBytes int) *PVB {
-	shift := uint(0)
-	for 1<<shift != lineBytes {
-		shift++
+	shift, err := lineShiftFor(lineBytes)
+	if err != nil {
+		panic(fmt.Sprintf("cache: NewPVB: %v", err))
 	}
 	return &PVB{entries: make([]pvbEntry, n), lineShift: shift}
 }

@@ -1,0 +1,53 @@
+package cpu
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Fingerprint returns a stable, order-independent serialization of every
+// field that can change simulation results. Two Configs with equal
+// fingerprints produce identical runs on the same workload and region, so
+// the experiment engine uses it as part of its memoization key. The
+// Perfect PC sets are emitted sorted — map iteration order must not leak
+// into the key.
+func (c Config) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s fw=%d iw=%d cw=%d win=%d ls=%d cx=%d front=%d fq=%d tc=%d",
+		c.Name, c.FetchWidth, c.IssueWidth, c.CommitWidth, c.WindowSize,
+		c.LdStPorts, c.ComplexUnits, c.FrontLatency, c.FetchQueueCap, c.ThreadContexts)
+	fmt.Fprintf(&b, " mul=%d div=%d mfw=%g hwc=%d hfq=%d pqd=%d",
+		c.MulLatency, c.DivLatency, c.MainFetchWeight, c.HelperWindowCap,
+		c.HelperFetchQCap, c.PredQueueDepth)
+	fmt.Fprintf(&b, " predsOff=%t confGate=%t confThr=%d dedicated=%t maxCyc=%d",
+		c.SlicePredictionsOff, c.ConfidenceGatedForks, c.ConfidenceThreshold,
+		c.DedicatedSliceResources, c.MaxCycles)
+	// cache.Params is a flat struct of scalars; %+v is deterministic.
+	fmt.Fprintf(&b, " mem={%+v}", c.Mem)
+	fmt.Fprintf(&b, " perfect={allBr=%t allLd=%t br=%s ld=%s}",
+		c.Perfect.AllBranches, c.Perfect.AllLoads,
+		sortedPCs(c.Perfect.BranchPCs), sortedPCs(c.Perfect.LoadPCs))
+	return b.String()
+}
+
+func sortedPCs(set map[uint64]bool) string {
+	if len(set) == 0 {
+		return "-"
+	}
+	pcs := make([]uint64, 0, len(set))
+	for pc, on := range set {
+		if on {
+			pcs = append(pcs, pc)
+		}
+	}
+	sort.Slice(pcs, func(i, j int) bool { return pcs[i] < pcs[j] })
+	var b strings.Builder
+	for i, pc := range pcs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%x", pc)
+	}
+	return b.String()
+}

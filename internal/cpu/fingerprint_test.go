@@ -1,0 +1,52 @@
+package cpu
+
+import "testing"
+
+func TestFingerprintStability(t *testing.T) {
+	a, b := Config4Wide(), Config4Wide()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical configs fingerprint differently")
+	}
+	// Insertion order of the Perfect PC sets must not matter.
+	a.Perfect = Perfect{BranchPCs: map[uint64]bool{}, LoadPCs: map[uint64]bool{}}
+	b.Perfect = Perfect{BranchPCs: map[uint64]bool{}, LoadPCs: map[uint64]bool{}}
+	pcs := []uint64{0x1000, 0x2040, 0x10, 0x99f8, 0x4}
+	for _, pc := range pcs {
+		a.Perfect.BranchPCs[pc] = true
+		a.Perfect.LoadPCs[pc+8] = true
+	}
+	for i := len(pcs) - 1; i >= 0; i-- {
+		b.Perfect.BranchPCs[pcs[i]] = true
+		b.Perfect.LoadPCs[pcs[i]+8] = true
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("perfect-set insertion order leaked into the fingerprint")
+	}
+}
+
+func TestFingerprintDistinguishes(t *testing.T) {
+	base := Config4Wide().Fingerprint()
+	mutations := map[string]func(*Config){
+		"width":       func(c *Config) { c.FetchWidth = 8 },
+		"window":      func(c *Config) { c.WindowSize = 256 },
+		"predsOff":    func(c *Config) { c.SlicePredictionsOff = true },
+		"confGate":    func(c *Config) { c.ConfidenceGatedForks = true },
+		"dedicated":   func(c *Config) { c.DedicatedSliceResources = true },
+		"queueDepth":  func(c *Config) { c.PredQueueDepth = 8 },
+		"contexts":    func(c *Config) { c.ThreadContexts = 6 },
+		"memLatency":  func(c *Config) { c.Mem.LatMem = 200 },
+		"allBranches": func(c *Config) { c.Perfect.AllBranches = true },
+		"branchPCs":   func(c *Config) { c.Perfect.BranchPCs = map[uint64]bool{0x1234: true} },
+		"loadPCs":     func(c *Config) { c.Perfect.LoadPCs = map[uint64]bool{0x1234: true} },
+	}
+	for name, mutate := range mutations {
+		c := Config4Wide()
+		mutate(&c)
+		if c.Fingerprint() == base {
+			t.Errorf("%s: mutation not reflected in fingerprint", name)
+		}
+	}
+	if Config4Wide().Fingerprint() == Config8Wide().Fingerprint() {
+		t.Error("4-wide and 8-wide fingerprint identically")
+	}
+}

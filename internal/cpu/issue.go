@@ -239,6 +239,11 @@ func (c *Core) fillPGI(di *DynInst) {
 		dir = val == 0
 	}
 	res := c.corr.Fill(di.AllocPred, dir)
+	if res.Applied {
+		// A helper actually produced a prediction — Table 4's
+		// "predictions generated", as opposed to predictions consumed.
+		c.S.PredsGenerated++
+	}
 	if !res.LateMismatch {
 		return
 	}

@@ -1,0 +1,245 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/cpu"
+	"repro/internal/profile"
+	"repro/internal/slicehw"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// This file implements the parallel, memoized experiment engine. Every
+// driver (Table 2, Figure 1, Figure 11, Table 4) describes the simulations
+// it needs as RunSpecs; the engine executes each unique spec exactly once —
+// across drivers, not just within one — and fans independent runs out over
+// a bounded worker pool. Results are deterministic and input-ordered: a
+// simulation is a pure function of its spec (fresh core, fresh memory,
+// shared read-only image and slice table), so scheduling order cannot
+// change any result, only wall time.
+
+// RunSpec identifies one simulation: which workload, under which machine
+// configuration, with or without its slices, over which region. Two specs
+// with equal keys produce identical runs.
+type RunSpec struct {
+	Workload   string
+	Cfg        cpu.Config
+	WithSlices bool
+	Warm, Run  uint64
+}
+
+// Key returns the memoization key. The config contributes its stable
+// fingerprint (perfect-PC sets sorted), so map iteration order cannot
+// split or alias cache entries.
+func (s RunSpec) Key() string {
+	return fmt.Sprintf("%s|slices=%t|warm=%d|run=%d|%s",
+		s.Workload, s.WithSlices, s.Warm, s.Run, s.Cfg.Fingerprint())
+}
+
+// RunResult is everything a driver may need from one simulation. The
+// stats are shared by every consumer of the memo entry and must be
+// treated as read-only.
+type RunResult struct {
+	Stats *stats.Sim
+	Hier  cache.HierStats
+	Corr  slicehw.CorrStats
+	// Wall is how long the simulation itself took (zero for memo hits).
+	Wall time.Duration
+}
+
+// Event describes one engine-level occurrence, delivered to the Progress
+// callback: a simulation that ran (Memoized=false) or a request served
+// from the memo cache (Memoized=true).
+type Event struct {
+	Spec     RunSpec
+	Memoized bool
+	Wall     time.Duration
+	// Insts is warm+run instructions simulated (zero for memo hits).
+	Insts uint64
+}
+
+// EngineStats aggregates run-level observability counters.
+type EngineStats struct {
+	// Hits counts requests served from the memo cache; Misses counts
+	// simulations actually executed. Hits+Misses = requests.
+	Hits, Misses uint64
+	// SimInsts is total instructions simulated (warm+run) across misses.
+	SimInsts uint64
+	// SimWall is cumulative simulation time across misses — CPU-seconds
+	// of simulation, which exceeds elapsed wall time when Jobs > 1.
+	SimWall time.Duration
+}
+
+// Engine runs experiment simulations with memoization and a bounded
+// worker pool. The zero value is not usable; call NewEngine.
+type Engine struct {
+	// Params selects region lengths (shared by every driver).
+	Params Params
+	// Jobs bounds concurrent simulations; 0 means GOMAXPROCS.
+	Jobs int
+	// Progress, when non-nil, receives one Event per request. Calls are
+	// serialized by the engine, in completion order.
+	Progress func(Event)
+
+	mu   sync.Mutex // guards memo and the counters
+	memo map[string]*memoEntry
+	st   EngineStats
+
+	progressMu sync.Mutex
+	profiles   sync.Map // baseline spec key → profile.Result
+}
+
+type memoEntry struct {
+	done chan struct{} // closed when res is valid
+	res  *RunResult
+}
+
+// NewEngine builds an engine. jobs ≤ 0 selects GOMAXPROCS workers.
+func NewEngine(p Params, jobs int) *Engine {
+	return &Engine{Params: p, Jobs: jobs, memo: make(map[string]*memoEntry)}
+}
+
+func (e *Engine) jobs() int {
+	if e.Jobs > 0 {
+		return e.Jobs
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Stats returns a snapshot of the observability counters.
+func (e *Engine) Stats() EngineStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.st
+}
+
+func (e *Engine) emit(ev Event) {
+	if e.Progress == nil {
+		return
+	}
+	e.progressMu.Lock()
+	e.Progress(ev)
+	e.progressMu.Unlock()
+}
+
+// Run executes (or recalls) one simulation. Safe for concurrent use.
+//
+// Lock discipline: a caller that creates the memo entry simulates while
+// holding no lock and closes the entry's done channel when finished;
+// every other caller for the same key waits on that channel. RunAll's
+// workers acquire their pool slot *before* calling Run, so an entry's
+// creator always holds a slot and makes progress — a waiter can never
+// starve the creator of the last slot.
+func (e *Engine) Run(spec RunSpec) (*RunResult, error) {
+	key := spec.Key()
+	e.mu.Lock()
+	if en, ok := e.memo[key]; ok {
+		e.st.Hits++
+		e.mu.Unlock()
+		<-en.done
+		e.emit(Event{Spec: spec, Memoized: true})
+		return en.res, nil
+	}
+	en := &memoEntry{done: make(chan struct{})}
+	e.memo[key] = en
+	e.st.Misses++
+	e.mu.Unlock()
+
+	w, err := workloads.ByName(spec.Workload)
+	if err != nil {
+		// Leave the entry resolved-empty so waiters do not hang.
+		en.res = nil
+		close(en.done)
+		return nil, err
+	}
+	start := time.Now()
+	core, s := runOnce(w, spec.Cfg, spec.WithSlices, spec.Warm, spec.Run)
+	res := &RunResult{Stats: s, Hier: core.Hier().Stats, Wall: time.Since(start)}
+	if corr := core.Correlator(); corr != nil {
+		res.Corr = corr.Stats
+	}
+	en.res = res
+	close(en.done)
+
+	insts := spec.Warm + spec.Run
+	e.mu.Lock()
+	e.st.SimInsts += insts
+	e.st.SimWall += res.Wall
+	e.mu.Unlock()
+	e.emit(Event{Spec: spec, Wall: res.Wall, Insts: insts})
+	return res, nil
+}
+
+// RunAll executes the specs over the worker pool and returns results in
+// input order. Duplicate specs within the batch (and against earlier
+// batches) are simulated once.
+func (e *Engine) RunAll(specs []RunSpec) ([]*RunResult, error) {
+	results := make([]*RunResult, len(specs))
+	errs := make([]error, len(specs))
+	sem := make(chan struct{}, e.jobs())
+	var wg sync.WaitGroup
+	for i := range specs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = e.Run(specs[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// mustRunAll is RunAll for driver-internal specs, whose workload names
+// come from *workloads.Workload values and cannot be unknown.
+func (e *Engine) mustRunAll(specs []RunSpec) []*RunResult {
+	res, err := e.RunAll(specs)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// baseSpec is the plain baseline run of w under cfg — no slices, no
+// perfect modes beyond what cfg already carries.
+func (e *Engine) baseSpec(w *workloads.Workload, cfg cpu.Config) RunSpec {
+	warm, run := e.Params.regions(w)
+	return RunSpec{Workload: w.Name, Cfg: cfg, Warm: warm, Run: run}
+}
+
+func (e *Engine) sliceSpec(w *workloads.Workload, cfg cpu.Config) RunSpec {
+	s := e.baseSpec(w, cfg)
+	s.WithSlices = true
+	return s
+}
+
+// profileFor classifies the problem instructions of w under cfg. The
+// underlying baseline simulation goes through the memo cache — it is the
+// same spec as the driver's base bars, so Figure 1 no longer re-runs the
+// profiling baseline once per width — and the derived classification is
+// itself memoized by baseline key.
+func (e *Engine) profileFor(w *workloads.Workload, cfg cpu.Config) (profile.Result, error) {
+	spec := e.baseSpec(w, cfg)
+	key := spec.Key()
+	if r, ok := e.profiles.Load(key); ok {
+		return r.(profile.Result), nil
+	}
+	res, err := e.Run(spec)
+	if err != nil {
+		return profile.Result{}, err
+	}
+	r := profile.Characterize(res.Stats, profile.DefaultOptions(spec.Run))
+	e.profiles.Store(key, r)
+	return r, nil
+}

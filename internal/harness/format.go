@@ -2,9 +2,23 @@ package harness
 
 import (
 	"fmt"
+	"math"
 	"strings"
 	"text/tabwriter"
 )
+
+// finite reports whether v is a usable number.
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// fnum renders v with format, or "n/a" for NaN/±Inf: a region that
+// retires nothing produces zero cycles and infinite/undefined ratios, and
+// those must not render as garbage in the tables.
+func fnum(format string, v float64) string {
+	if !finite(v) {
+		return "n/a"
+	}
+	return fmt.Sprintf(format, v)
+}
 
 func table(write func(w *tabwriter.Writer)) string {
 	var sb strings.Builder
@@ -14,9 +28,10 @@ func table(write func(w *tabwriter.Writer)) string {
 	return sb.String()
 }
 
-// bar renders a crude horizontal bar for figure-style output.
+// bar renders a crude horizontal bar for figure-style output. NaN/±Inf
+// values (degenerate regions) and non-positive scales render as empty.
 func bar(v, max float64, width int) string {
-	if max <= 0 {
+	if !finite(v) || !finite(max) || max <= 0 {
 		return ""
 	}
 	n := int(v / max * float64(width))
@@ -48,7 +63,7 @@ func FormatFigure1(rows []Figure1Row) string {
 	max := 0.0
 	for _, r := range rows {
 		for i := 0; i < 2; i++ {
-			if r.AllPerf[i] > max {
+			if finite(r.AllPerf[i]) && r.AllPerf[i] > max {
 				max = r.AllPerf[i]
 			}
 		}
@@ -57,8 +72,9 @@ func FormatFigure1(rows []Figure1Row) string {
 		fmt.Fprintln(w, "program\twidth\tbaseline\tprob.perfect\tall perfect\t")
 		for _, r := range rows {
 			for i, width := range []string{"4", "8"} {
-				fmt.Fprintf(w, "%s\t%s\t%.2f\t%.2f\t%.2f\t%s\n",
-					r.Program, width, r.Base[i], r.ProbPerf[i], r.AllPerf[i],
+				fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\n",
+					r.Program, width, fnum("%.2f", r.Base[i]),
+					fnum("%.2f", r.ProbPerf[i]), fnum("%.2f", r.AllPerf[i]),
 					bar(r.AllPerf[i], max, 30))
 			}
 		}
@@ -92,18 +108,20 @@ func FormatFigure11(rows []Figure11Row) string {
 	sb.WriteString("Figure 11. Speedup of slice-assisted execution and the constrained limit study (4-wide).\n")
 	max := 0.0
 	for _, r := range rows {
-		if r.LimitSpeedup > max {
+		if finite(r.LimitSpeedup) && r.LimitSpeedup > max {
 			max = r.LimitSpeedup
 		}
-		if r.SliceSpeedup > max {
+		if finite(r.SliceSpeedup) && r.SliceSpeedup > max {
 			max = r.SliceSpeedup
 		}
 	}
 	sb.WriteString(table(func(w *tabwriter.Writer) {
 		fmt.Fprintln(w, "program\tbase IPC\tslice%\tlimit%\t")
 		for _, r := range rows {
-			fmt.Fprintf(w, "%s\t%.2f\tslice %+6.1f%%\t%s\n", r.Program, r.BaseIPC, r.SliceSpeedup, bar(r.SliceSpeedup, max, 30))
-			fmt.Fprintf(w, "\t\tlimit %+6.1f%%\t%s\n", r.LimitSpeedup, bar(r.LimitSpeedup, max, 30))
+			fmt.Fprintf(w, "%s\t%s\tslice %s\t%s\n", r.Program, fnum("%.2f", r.BaseIPC),
+				fnum("%+6.1f%%", r.SliceSpeedup), bar(r.SliceSpeedup, max, 30))
+			fmt.Fprintf(w, "\t\tlimit %s\t%s\n",
+				fnum("%+6.1f%%", r.LimitSpeedup), bar(r.LimitSpeedup, max, 30))
 		}
 	}))
 	return sb.String()
@@ -127,18 +145,19 @@ func FormatTable4(cols []Table4Col) string {
 		{"Fork points squashed", func(c Table4Col) string { return fmt.Sprintf("%d", c.ForksSquashed) }},
 		{"Fork points ignored", func(c Table4Col) string { return fmt.Sprintf("%d", c.ForksIgnored) }},
 		{"Problem branches covered", func(c Table4Col) string { return fmt.Sprintf("%d", c.BranchesCovered) }},
-		{"Predictions matched", func(c Table4Col) string { return fmt.Sprintf("%d", c.PredsGenerated) }},
+		{"Predictions generated", func(c Table4Col) string { return fmt.Sprintf("%d", c.PredsGenerated) }},
+		{"Predictions used", func(c Table4Col) string { return fmt.Sprintf("%d", c.PredsUsed) }},
 		{"Mispredictions covered", func(c Table4Col) string { return fmt.Sprintf("%d", c.MispCovered) }},
-		{"Mispredictions removed", func(c Table4Col) string { return fmt.Sprintf("%d (%.0f%%)", c.MispRemoved, c.MispRemovedPct) }},
+		{"Mispredictions removed", func(c Table4Col) string { return fmt.Sprintf("%d (%s)", c.MispRemoved, fnum("%.0f%%", c.MispRemovedPct)) }},
 		{"Incorrect predictions", func(c Table4Col) string { return fmt.Sprintf("%d", c.IncorrectPreds) }},
-		{"Late predictions", func(c Table4Col) string { return fmt.Sprintf("%.0f%%", c.LatePct) }},
+		{"Late predictions", func(c Table4Col) string { return fnum("%.0f%%", c.LatePct) }},
 		{"Early resolutions", func(c Table4Col) string { return fmt.Sprintf("%d", c.EarlyResolutions) }},
 		{"Problem loads covered", func(c Table4Col) string { return fmt.Sprintf("%d", c.LoadsCovered) }},
 		{"Prefetches performed", func(c Table4Col) string { return fmt.Sprintf("%d", c.Prefetches) }},
 		{"Cache misses covered", func(c Table4Col) string { return fmt.Sprintf("%d", c.MissesCovered) }},
-		{"Net miss reduction", func(c Table4Col) string { return fmt.Sprintf("%d (%.0f%%)", c.MissReduction, c.MissReductionPct) }},
-		{"Speedup", func(c Table4Col) string { return fmt.Sprintf("%.1f%%", c.SpeedupPct) }},
-		{"Fraction of speedup from loads", func(c Table4Col) string { return fmt.Sprintf("~%.0f%%", c.FracFromLoads*100) }},
+		{"Net miss reduction", func(c Table4Col) string { return fmt.Sprintf("%d (%s)", c.MissReduction, fnum("%.0f%%", c.MissReductionPct)) }},
+		{"Speedup", func(c Table4Col) string { return fnum("%.1f%%", c.SpeedupPct) }},
+		{"Fraction of speedup from loads", func(c Table4Col) string { return "~" + fnum("%.0f%%", c.FracFromLoads*100) }},
 	}
 	sb.WriteString(table(func(w *tabwriter.Writer) {
 		fmt.Fprint(w, "metric")

@@ -7,7 +7,6 @@ package harness
 
 import (
 	"repro/internal/cpu"
-	"repro/internal/profile"
 	"repro/internal/stats"
 	"repro/internal/workloads"
 )
@@ -37,7 +36,9 @@ func (p Params) regions(w *workloads.Workload) (warm, run uint64) {
 
 // runOnce runs one workload region under cfg, with or without its slices,
 // and returns the measured stats and the core (for hierarchy/correlator
-// counters).
+// counters). Each call builds a fresh core and memory, so concurrent
+// calls over shared read-only workload images are independent; the engine
+// relies on this to parallelize.
 func runOnce(w *workloads.Workload, cfg cpu.Config, withSlices bool, warm, run uint64) (*cpu.Core, *stats.Sim) {
 	var core *cpu.Core
 	if withSlices {
@@ -49,14 +50,6 @@ func runOnce(w *workloads.Workload, cfg cpu.Config, withSlices bool, warm, run u
 	core.ResetStats()
 	s := core.Run(run)
 	return core, s
-}
-
-// profileProblems runs a baseline region and classifies its problem
-// instructions.
-func profileProblems(w *workloads.Workload, cfg cpu.Config, p Params) profile.Result {
-	warm, run := p.regions(w)
-	_, s := runOnce(w, cfg, false, warm, run)
-	return profile.Characterize(s, profile.DefaultOptions(run))
 }
 
 // --- Table 2 ---
@@ -74,9 +67,24 @@ type Table2Row struct {
 
 // Table2 reproduces the paper's Table 2 for the given workloads.
 func Table2(ws []*workloads.Workload, p Params) []Table2Row {
-	var rows []Table2Row
+	return NewEngine(p, 0).Table2(ws)
+}
+
+// Table2 reproduces the paper's Table 2 through the engine: the profiling
+// baselines run in parallel, then the per-PC statistics are classified.
+func (e *Engine) Table2(ws []*workloads.Workload) []Table2Row {
+	specs := make([]RunSpec, len(ws))
+	for i, w := range ws {
+		specs[i] = e.baseSpec(w, cpu.Config4Wide())
+	}
+	e.mustRunAll(specs) // warm the memo in parallel
+
+	rows := make([]Table2Row, 0, len(ws))
 	for _, w := range ws {
-		r := profileProblems(w, cpu.Config4Wide(), p)
+		r, err := e.profileFor(w, cpu.Config4Wide())
+		if err != nil {
+			panic(err)
+		}
 		rows = append(rows, Table2Row{
 			Program: w.Name,
 			MemSI:   r.MemSI,
@@ -101,26 +109,52 @@ type Figure1Row struct {
 // Figure1 reproduces Figure 1: baseline, problem-instructions-perfect, and
 // all-perfect IPC on the 4- and 8-wide machines.
 func Figure1(ws []*workloads.Workload, p Params) []Figure1Row {
-	var rows []Figure1Row
+	return NewEngine(p, 0).Figure1(ws)
+}
+
+// widthConfigs are Figure 1's two machines, index-aligned with the [2]
+// arrays of Figure1Row.
+var widthConfigs = []func() cpu.Config{cpu.Config4Wide, cpu.Config8Wide}
+
+// Figure1 reproduces Figure 1 through the engine in two parallel phases:
+// the per-(workload, width) baselines first — each doubles as both the
+// profiling input and the "baseline" bar, so the profiling run the serial
+// driver repeated per width is simulated exactly once — then the
+// problem-perfect and all-perfect runs derived from those profiles.
+func (e *Engine) Figure1(ws []*workloads.Workload) []Figure1Row {
+	// Phase 1: baselines for both widths.
+	baseSpecs := make([]RunSpec, 0, 2*len(ws))
 	for _, w := range ws {
-		row := Figure1Row{Program: w.Name}
-		for wi, mk := range []func() cpu.Config{cpu.Config4Wide, cpu.Config8Wide} {
-			warm, run := p.regions(w)
-			prob := profileProblems(w, mk(), p)
+		for _, mk := range widthConfigs {
+			baseSpecs = append(baseSpecs, e.baseSpec(w, mk()))
+		}
+	}
+	baseRes := e.mustRunAll(baseSpecs)
 
-			base := mk()
-			_, sb := runOnce(w, base, false, warm, run)
-			row.Base[wi] = sb.IPC()
-
+	// Phase 2: perfect-mode runs, configured from the memoized profiles.
+	perfSpecs := make([]RunSpec, 0, 4*len(ws))
+	for _, w := range ws {
+		for _, mk := range widthConfigs {
+			prob, err := e.profileFor(w, mk())
+			if err != nil {
+				panic(err)
+			}
 			probCfg := mk()
 			probCfg.Perfect = cpu.Perfect{LoadPCs: prob.LoadPCs, BranchPCs: prob.BranchPCs}
-			_, sp := runOnce(w, probCfg, false, warm, run)
-			row.ProbPerf[wi] = sp.IPC()
-
 			perfCfg := mk()
 			perfCfg.Perfect = cpu.Perfect{AllBranches: true, AllLoads: true}
-			_, sa := runOnce(w, perfCfg, false, warm, run)
-			row.AllPerf[wi] = sa.IPC()
+			perfSpecs = append(perfSpecs, e.baseSpec(w, probCfg), e.baseSpec(w, perfCfg))
+		}
+	}
+	perfRes := e.mustRunAll(perfSpecs)
+
+	rows := make([]Figure1Row, 0, len(ws))
+	for i, w := range ws {
+		row := Figure1Row{Program: w.Name}
+		for wi := range widthConfigs {
+			row.Base[wi] = baseRes[2*i+wi].Stats.IPC()
+			row.ProbPerf[wi] = perfRes[4*i+2*wi].Stats.IPC()
+			row.AllPerf[wi] = perfRes[4*i+2*wi+1].Stats.IPC()
 		}
 		rows = append(rows, row)
 	}
@@ -195,23 +229,42 @@ func coveredPerfect(w *workloads.Workload) cpu.Perfect {
 // Figure11 reproduces Figure 11: speedup of slice-assisted execution and
 // of "magically" perfecting the same problem instructions.
 func Figure11(ws []*workloads.Workload, p Params) []Figure11Row {
-	var rows []Figure11Row
+	return NewEngine(p, 0).Figure11(ws)
+}
+
+// speedupPct is the percent cycle-count speedup of `with` over `base`,
+// guarding the degenerate zero-cycle run (nothing retired) that would
+// otherwise produce ±Inf/NaN.
+func speedupPct(base, with uint64) float64 {
+	if with == 0 || base == 0 {
+		return 0
+	}
+	return (float64(base)/float64(with) - 1) * 100
+}
+
+// Figure11 reproduces Figure 11 through the engine: base, slice-assisted,
+// and constrained-limit runs for every workload, all independent, all in
+// one parallel batch.
+func (e *Engine) Figure11(ws []*workloads.Workload) []Figure11Row {
+	specs := make([]RunSpec, 0, 3*len(ws))
 	for _, w := range ws {
-		warm, run := p.regions(w)
 		cfg := cpu.Config4Wide()
-		_, base := runOnce(w, cfg, false, warm, run)
-		_, sl := runOnce(w, cfg, true, warm, run)
 		limCfg := cpu.Config4Wide()
 		limCfg.Perfect = coveredPerfect(w)
-		_, lim := runOnce(w, limCfg, false, warm, run)
+		specs = append(specs, e.baseSpec(w, cfg), e.sliceSpec(w, cfg), e.baseSpec(w, limCfg))
+	}
+	res := e.mustRunAll(specs)
 
+	rows := make([]Figure11Row, 0, len(ws))
+	for i, w := range ws {
+		base, sl, lim := res[3*i].Stats, res[3*i+1].Stats, res[3*i+2].Stats
 		rows = append(rows, Figure11Row{
 			Program:      w.Name,
 			BaseIPC:      base.IPC(),
 			SliceIPC:     sl.IPC(),
 			LimitIPC:     lim.IPC(),
-			SliceSpeedup: (float64(base.Cycles)/float64(sl.Cycles) - 1) * 100,
-			LimitSpeedup: (float64(base.Cycles)/float64(lim.Cycles) - 1) * 100,
+			SliceSpeedup: speedupPct(base.Cycles, sl.Cycles),
+			LimitSpeedup: speedupPct(base.Cycles, lim.Cycles),
 		})
 	}
 	return rows
@@ -238,8 +291,9 @@ type Table4Col struct {
 	ForksSquashed     uint64
 	ForksIgnored      uint64
 
-	BranchesCovered  int // static problem branches covered by slices
-	PredsGenerated   uint64
+	BranchesCovered  int    // static problem branches covered by slices
+	PredsGenerated   uint64 // predictions the helpers actually filled
+	PredsUsed        uint64 // predictions consumed by branch instances (incl. late)
 	MispCovered      uint64 // base mispredictions at covered branch PCs
 	MispRemoved      int64  // base mispredicts − slice mispredicts
 	MispRemovedPct   float64
@@ -262,15 +316,26 @@ type Table4Col struct {
 
 // Table4 reproduces the paper's Table 4 on the 4-wide machine.
 func Table4(ws []*workloads.Workload, p Params) []Table4Col {
-	var cols []Table4Col
+	return NewEngine(p, 0).Table4(ws)
+}
+
+// Table4 reproduces Table 4 through the engine: base, slice, and
+// predictions-off (prefetch-only) runs per workload, one parallel batch.
+// The base and slice runs are the same specs Figure 11 uses, so running
+// both drivers on one engine simulates them once.
+func (e *Engine) Table4(ws []*workloads.Workload) []Table4Col {
+	specs := make([]RunSpec, 0, 3*len(ws))
 	for _, w := range ws {
-		warm, run := p.regions(w)
 		cfg := cpu.Config4Wide()
-		_, base := runOnce(w, cfg, false, warm, run)
-		_, sl := runOnce(w, cfg, true, warm, run)
 		prefCfg := cpu.Config4Wide()
 		prefCfg.SlicePredictionsOff = true
-		_, pref := runOnce(w, prefCfg, true, warm, run)
+		specs = append(specs, e.baseSpec(w, cfg), e.sliceSpec(w, cfg), e.sliceSpec(w, prefCfg))
+	}
+	res := e.mustRunAll(specs)
+
+	cols := make([]Table4Col, 0, len(ws))
+	for i, w := range ws {
+		base, sl, pref := res[3*i].Stats, res[3*i+1].Stats, res[3*i+2].Stats
 
 		cov := coveredPerfect(w)
 		var mispCov, missCov uint64
@@ -298,7 +363,8 @@ func Table4(ws []*workloads.Workload, p Params) []Table4Col {
 			ForksSquashed:     sl.ForksSquashed,
 			ForksIgnored:      sl.ForksIgnored,
 			BranchesCovered:   len(cov.BranchPCs),
-			PredsGenerated:    sl.PredsUsed + sl.PredsLateUsed,
+			PredsGenerated:    sl.PredsGenerated,
+			PredsUsed:         sl.PredsUsed + sl.PredsLateUsed,
 			MispCovered:       mispCov,
 			MispRemoved:       int64(base.Mispredicts) - int64(sl.Mispredicts),
 			IncorrectPreds:    sl.PredsIncorrect,
@@ -318,7 +384,7 @@ func Table4(ws []*workloads.Workload, p Params) []Table4Col {
 		if base.LoadMisses > 0 {
 			col.MissReductionPct = float64(col.MissReduction) / float64(base.LoadMisses) * 100
 		}
-		col.SpeedupPct = (float64(base.Cycles)/float64(sl.Cycles) - 1) * 100
+		col.SpeedupPct = speedupPct(base.Cycles, sl.Cycles)
 		total := float64(base.Cycles) - float64(sl.Cycles)
 		fromLoads := float64(base.Cycles) - float64(pref.Cycles)
 		if total > 0 {

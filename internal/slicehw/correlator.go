@@ -253,6 +253,9 @@ func (c *Correlator) UndoAllocate(p *Pred) {
 
 // FillResult reports what a Fill did.
 type FillResult struct {
+	// Applied reports whether the entry was actually filled (false when
+	// the prediction had already been removed, e.g. by a fork squash).
+	Applied bool
 	// LateMismatch: the entry had already been consumed with the opposite
 	// direction; the CPU should redirect the consumer if it is still
 	// unresolved (early resolution, §5.3).
@@ -275,9 +278,9 @@ func (c *Correlator) Fill(p *Pred, dir bool) FillResult {
 	// direction can resolve that branch early (§5.3).
 	if p.Used && p.UsedDir != dir {
 		c.Stats.LateMismatch++
-		return FillResult{LateMismatch: true, Consumer: p.Consumer}
+		return FillResult{Applied: true, LateMismatch: true, Consumer: p.Consumer}
 	}
-	return FillResult{}
+	return FillResult{Applied: true}
 }
 
 // Lookup matches a fetched main-thread branch at branchPC against the

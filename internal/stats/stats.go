@@ -65,6 +65,7 @@ type Sim struct {
 	ForksGated    uint64 // suppressed by the confidence gate (§6.3)
 
 	// Correlator-facing (resolved on the correct path).
+	PredsGenerated            uint64 // predictions actually filled by helper PGIs
 	PredsUsed                 uint64 // branch instances that used a slice prediction
 	PredsCorrect              uint64
 	PredsIncorrect            uint64

@@ -1,0 +1,63 @@
+package workloads_test
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// TestConcurrentCoresShareImageAndSlices runs several cores concurrently
+// over one Workload — same Image, same slice table — under the race
+// detector, and requires every replica to produce identical statistics.
+// This is the safety contract the parallel experiment engine depends on:
+// the shared structures are read-only, and all mutable state (core,
+// memory, correlator) is per-run.
+func TestConcurrentCoresShareImageAndSlices(t *testing.T) {
+	w, err := workloads.ByName("vpr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Touch the slice table from the main goroutine too, so the lazy
+	// build races with the workers unless it is properly synchronized.
+	if w.SliceTable() == nil {
+		t.Fatal("nil slice table")
+	}
+
+	const replicas = 4
+	const warm, run = 10_000, 20_000
+	results := make([]*stats.Sim, replicas)
+	var wg sync.WaitGroup
+	for i := 0; i < replicas; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cfg := cpu.Config4Wide()
+			var table = w.SliceTable()
+			if i%2 == 0 {
+				table = nil // mix plain and slice-assisted cores
+			}
+			core := cpu.MustNew(cfg, w.Image, w.NewMemory(), w.Entry, table)
+			core.Run(warm)
+			core.ResetStats()
+			results[i] = core.Run(run)
+		}(i)
+	}
+	wg.Wait()
+
+	// Replicas with the same mode must agree exactly: concurrency may not
+	// perturb a simulation.
+	for i := 2; i < replicas; i += 2 {
+		if !reflect.DeepEqual(results[0], results[i]) {
+			t.Errorf("plain replica %d diverged from replica 0", i)
+		}
+	}
+	for i := 3; i < replicas; i += 2 {
+		if !reflect.DeepEqual(results[1], results[i]) {
+			t.Errorf("slice replica %d diverged from replica 1", i)
+		}
+	}
+}

@@ -16,6 +16,7 @@ package workloads
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/asm"
 	"repro/internal/isa"
@@ -38,12 +39,20 @@ const (
 
 // Workload is one benchmark: program image, memory initializer, entry
 // point, and its speculative slices.
+//
+// Concurrency: a single *Workload may back many simultaneously running
+// cores. Image, Slices, and the memoized slice table are immutable after
+// construction and safe to share; per-run mutable state (the memory) is
+// created fresh by NewMemory for every run.
 type Workload struct {
 	Name        string
 	Description string
 	Entry       uint64
-	Image       *asm.Image
-	Slices      []*slicehw.Slice
+	// Image is the program + slice code. The core only reads it (fetch
+	// returns pointers into immutable asm.Program instruction arrays), so
+	// concurrent cores share one Image safely.
+	Image  *asm.Image
+	Slices []*slicehw.Slice
 	// InitMem populates a fresh memory with the workload's data.
 	InitMem func(m *mem.Memory)
 	// SuggestedRun is a measurement region length that exercises the
@@ -51,6 +60,9 @@ type Workload struct {
 	SuggestedRun uint64
 	// SuggestedWarmup warms caches and predictors first (instructions).
 	SuggestedWarmup uint64
+
+	tableOnce sync.Once
+	table     *slicehw.Table
 }
 
 // NewMemory returns a freshly initialized memory for one run.
@@ -62,9 +74,14 @@ func (w *Workload) NewMemory() *mem.Memory {
 	return m
 }
 
-// SliceTable builds the front-end slice/PGI table for this workload.
+// SliceTable returns the front-end slice/PGI table for this workload,
+// building it on first use. The table is built exactly once per Workload:
+// slicehw.NewTable assigns slice indices, so rebuilding it per run would
+// race when concurrent cores share one Workload. The table itself is
+// read-only after construction and safe to share across cores.
 func (w *Workload) SliceTable() *slicehw.Table {
-	return slicehw.MustTable(w.Slices)
+	w.tableOnce.Do(func() { w.table = slicehw.MustTable(w.Slices) })
+	return w.table
 }
 
 // All returns every workload, in the paper's Table 2 order.
