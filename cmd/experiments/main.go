@@ -16,9 +16,14 @@
 // tables (e.g. the 4-wide baselines, or Figure 11's and Table 4's slice
 // runs) execute once. -jobs bounds the worker pool (default GOMAXPROCS);
 // -v prints one line per simulation plus a final hit/miss summary.
+//
+// -json runs every experiment and emits one machine-readable document
+// (schema specslice-experiments/1) containing all tables and figures,
+// for bench trajectories and plotting scripts.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +40,7 @@ func main() {
 		only    = flag.String("workload", "", "restrict to one workload")
 		jobs    = flag.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		verbose = flag.Bool("v", false, "log every simulation and the memo summary")
+		asJSON  = flag.Bool("json", false, "emit all tables/figures as one JSON document (ignores -exp)")
 	)
 	flag.Parse()
 
@@ -62,6 +68,22 @@ func main() {
 			fmt.Fprintf(os.Stderr, "run   %-8s %-6s %-6s %9d insts  %s\n",
 				ev.Spec.Workload, mode, ev.Spec.Cfg.Name, ev.Insts, ev.Wall.Round(time.Millisecond))
 		}
+	}
+
+	if *asJSON {
+		doc := e.Export(ws)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *verbose {
+			st := e.Stats()
+			fmt.Fprintf(os.Stderr, "engine: %d simulations, %d memo hits, %d insts simulated, %s sim time\n",
+				st.Misses, st.Hits, st.SimInsts, st.SimWall.Round(time.Millisecond))
+		}
+		return
 	}
 
 	runExp := func(name string, f func()) {

@@ -5,34 +5,40 @@
 //
 //	slicesim -workload vpr -slices -run 400000
 //	slicesim -workload mcf -wide8
-//	slicesim -workload gzip -disasm          # print program + slice code
-//	slicesim -workload eon -slices -trace    # stream correlator events
+//	slicesim -workload gzip -disasm            # print program + slice code
+//	slicesim -workload eon -slices -trace      # stream telemetry events as text
+//	slicesim -workload eon -trace -trace-format=jsonl -trace-out=events.jsonl
+//	slicesim -workload eon -trace -trace-format=chrome -trace-out=trace.json
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/cpu"
 	"repro/internal/profile"
+	"repro/internal/stats"
 	"repro/internal/workloads"
 )
 
 func main() {
 	var (
-		name    = flag.String("workload", "vpr", "workload name (see -list)")
-		list    = flag.Bool("list", false, "list workloads and exit")
-		slices  = flag.Bool("slices", false, "enable the speculative slice hardware")
-		wide8   = flag.Bool("wide8", false, "use the 8-wide machine (default 4-wide)")
-		warmup  = flag.Uint64("warmup", 0, "warm-up instructions (default: workload suggestion)")
-		run     = flag.Uint64("run", 0, "measured instructions (default: workload suggestion)")
-		disasm  = flag.Bool("disasm", false, "print the program and slice code, then exit")
-		trace   = flag.Bool("trace", false, "stream correlator events (implies -slices)")
-		top     = flag.Int("top", 0, "print the N static instructions with the most PDEs")
-		perfect = flag.Bool("perfect", false, "perfect branch prediction and caches (limit study)")
-		asJSON  = flag.Bool("json", false, "emit the run's statistics as JSON")
+		name     = flag.String("workload", "vpr", "workload name (see -list)")
+		list     = flag.Bool("list", false, "list workloads and exit")
+		slices   = flag.Bool("slices", false, "enable the speculative slice hardware")
+		wide8    = flag.Bool("wide8", false, "use the 8-wide machine (default 4-wide)")
+		warmup   = flag.Uint64("warmup", 0, "warm-up instructions (default: workload suggestion)")
+		run      = flag.Uint64("run", 0, "measured instructions (default: workload suggestion)")
+		disasm   = flag.Bool("disasm", false, "print the program and slice code, then exit")
+		trace    = flag.Bool("trace", false, "stream telemetry events (implies -slices)")
+		traceFmt = flag.String("trace-format", "text", "trace sink: text, jsonl, or chrome")
+		traceOut = flag.String("trace-out", "", "trace output file (default stdout)")
+		top      = flag.Int("top", 0, "print the N static instructions with the most PDEs")
+		perfect  = flag.Bool("perfect", false, "perfect branch prediction and caches (limit study)")
+		asJSON   = flag.Bool("json", false, "emit the run's full counter snapshot as JSON")
 	)
 	flag.Parse()
 
@@ -82,18 +88,23 @@ func main() {
 	core.Run(warm)
 	core.ResetStats()
 	if *trace {
-		core.Correlator().Trace = func(ev string, args ...any) {
-			fmt.Printf("cyc=%-10d %-14s %v\n", core.Now(), ev, args)
+		sink, cleanup, err := openTracer(*traceFmt, *traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
+		defer cleanup()
+		core.SetTracer(sink)
 	}
 	s := core.Run(region)
 
 	if *asJSON {
+		snap := core.Snapshot()
 		out := map[string]any{
 			"workload": w.Name,
 			"machine":  cfg.Name,
 			"slices":   useSlices,
-			"stats":    s,
+			"snapshot": &snap,
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -129,5 +140,47 @@ func main() {
 			fmt.Printf("  %#08x %-6s execs=%-8d misses=%-6d mispredicts=%-6d\n",
 				st.PC, kind, st.Execs, st.Misses, st.Mispredicts)
 		}
+	}
+}
+
+// openTracer builds the requested trace sink. cleanup flushes the sink's
+// framing (the Chrome array terminator) and closes the output file.
+func openTracer(format, path string) (stats.Tracer, func(), error) {
+	var w io.Writer = os.Stdout
+	var file *os.File
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		w, file = f, f
+	}
+	closeFile := func() {
+		if file != nil {
+			file.Close()
+		}
+	}
+	switch format {
+	case "text":
+		return stats.NewTextTracer(w), closeFile, nil
+	case "jsonl":
+		t := stats.NewJSONLTracer(w)
+		return t, func() {
+			if err := t.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "trace:", err)
+			}
+			closeFile()
+		}, nil
+	case "chrome":
+		t := stats.NewChromeTracer(w)
+		return t, func() {
+			if err := t.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "trace:", err)
+			}
+			closeFile()
+		}, nil
+	default:
+		closeFile()
+		return nil, nil, fmt.Errorf("unknown -trace-format %q (want text, jsonl, or chrome)", format)
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"repro/internal/slicehw"
+	"repro/internal/stats"
 )
 
 func main() {
@@ -25,7 +26,9 @@ func main() {
 		SliceKillPC: 0x2080, // block G, the loop exit
 	}
 	c := slicehw.NewCorrelator(8)
-	c.Trace = func(ev string, args ...any) { fmt.Printf("  correlator: %-14s %v\n", ev, args) }
+	c.Tracer = stats.FuncTracer(func(e stats.Event) {
+		fmt.Printf("  correlator: %-14s%s\n", e.Kind, e.Detail())
+	})
 
 	fmt.Println("fork: slice guesses three iterations, generates P1..P3")
 	inst := c.NewInstance(s)

@@ -1,5 +1,7 @@
 package bpred
 
+import "repro/internal/stats"
+
 // Cascaded implements the cascading indirect branch target predictor of
 // Driesen & Hölzle (MICRO-31). A small first-stage table indexed by PC
 // holds per-branch last targets; a larger tagged second stage indexed by
@@ -12,6 +14,9 @@ type Cascaded struct {
 	m1, m2   uint64
 	tagBits  uint
 	pathBits uint
+
+	// Stats counts which stage supplied each target prediction.
+	Stats stats.IndirectStats
 }
 
 type casEntry struct {
@@ -49,10 +54,21 @@ func (c *Cascaded) tag(pc uint64) uint16 {
 
 // Predict implements IndirectPredictor.
 func (c *Cascaded) Predict(pc, path uint64) uint64 {
-	if e := &c.stage2[c.i2(pc, path)]; e.valid && e.tag == c.tag(pc) {
-		return e.target
+	c.Stats.Lookups++
+	if e := &c.stage2[c.i2(pc, path)]; e.valid {
+		if e.tag == c.tag(pc) {
+			c.Stats.Stage2Hits++
+			return e.target
+		}
+		c.Stats.Stage2Aliased++
 	}
-	return c.stage1[c.i1(pc)]
+	t := c.stage1[c.i1(pc)]
+	if t == 0 {
+		c.Stats.NoTarget++
+	} else {
+		c.Stats.Stage1Used++
+	}
+	return t
 }
 
 // Update implements IndirectPredictor.
@@ -66,6 +82,7 @@ func (c *Cascaded) Update(pc, path, target uint64) {
 	} else if !stage1Correct && c.stage1[i1] != 0 {
 		// Cascade filter: allocate only when a trained first stage failed
 		// (a cold stage-1 miss is not evidence of polymorphism).
+		c.Stats.Allocs++
 		*e = casEntry{tag: c.tag(pc), target: target, valid: true}
 	}
 	c.stage1[i1] = target

@@ -1,5 +1,7 @@
 package bpred
 
+import "repro/internal/stats"
+
 // RAS is the 64-entry return address stack. Pushes and pops happen
 // speculatively at fetch; each in-flight control instruction checkpoints
 // (top-of-stack pointer, top value) so a squash restores the stack exactly
@@ -8,6 +10,10 @@ package bpred
 type RAS struct {
 	stack []uint64
 	sp    int // index of the next free slot (top is sp-1)
+
+	// Stats counts speculative fetch-path traffic (squash repair does not
+	// rewind the counters; they tally events as the front end saw them).
+	Stats stats.RASStats
 }
 
 // RASState is a checkpoint of the stack.
@@ -26,12 +32,20 @@ func (r *RAS) wrap(i int) int {
 
 // Push records a return address (on CALL fetch).
 func (r *RAS) Push(addr uint64) {
+	r.Stats.Pushes++
+	if r.sp >= len(r.stack) {
+		r.Stats.Overflows++
+	}
 	r.stack[r.wrap(r.sp)] = addr
 	r.sp++
 }
 
 // Pop predicts the target of a RET.
 func (r *RAS) Pop() uint64 {
+	r.Stats.Pops++
+	if r.sp <= 0 {
+		r.Stats.Underflows++
+	}
 	r.sp--
 	return r.stack[r.wrap(r.sp)]
 }

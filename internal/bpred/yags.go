@@ -1,5 +1,7 @@
 package bpred
 
+import "repro/internal/stats"
+
 // YAGS (Eden & Mudge, MICRO-31) splits a choice bimodal table from two
 // small tagged "direction caches". The choice table records each branch's
 // bias; the T-cache holds instances where a not-taken-biased branch went
@@ -13,6 +15,10 @@ type YAGS struct {
 	emask    uint64
 	tagBits  uint
 	histBits uint
+
+	// Stats counts which structure supplied each prediction and how the
+	// tagged caches behave under aliasing.
+	Stats stats.YAGSStats
 }
 
 type yagsEntry struct {
@@ -56,19 +62,23 @@ func (y *YAGS) tag(pc uint64) uint16 {
 
 // Predict implements DirPredictor.
 func (y *YAGS) Predict(pc, hist uint64) bool {
+	y.Stats.Lookups++
 	bias := y.choice[y.choiceIdx(pc)].taken()
 	i := y.cacheIdx(pc, hist)
 	tag := y.tag(pc)
-	if bias {
-		if e := &y.nt[i]; e.valid && e.tag == tag {
+	cache := y.nt
+	if !bias {
+		cache = y.t
+	}
+	if e := &cache[i]; e.valid {
+		if e.tag == tag {
+			y.Stats.CacheHits++
 			return e.c.taken()
 		}
-		return true
+		y.Stats.CacheAliased++
 	}
-	if e := &y.t[i]; e.valid && e.tag == tag {
-		return e.c.taken()
-	}
-	return false
+	y.Stats.ChoiceUsed++
+	return bias
 }
 
 // Update implements DirPredictor.
@@ -89,6 +99,10 @@ func (y *YAGS) Update(pc, hist uint64, taken bool) {
 		e.c = train(e.c, taken)
 	} else if taken != bias {
 		// Allocate: this instance is an exception to the bias.
+		y.Stats.Allocs++
+		if e.valid {
+			y.Stats.AllocEvictions++
+		}
 		*e = yagsEntry{tag: tag, valid: true}
 		e.c = train(2, taken) // weakly toward the observed outcome
 	}

@@ -12,16 +12,16 @@
 // hierarchy.
 package cache
 
-import "fmt"
+import (
+	"fmt"
 
-// Stats counts events for one cache.
-type Stats struct {
-	Accesses   uint64
-	Hits       uint64
-	Misses     uint64
-	Evictions  uint64
-	Writebacks uint64
-}
+	"repro/internal/stats"
+)
+
+// Stats counts events for one cache. The definition lives in the
+// telemetry package so stats.Snapshot can embed it without an import
+// cycle; the alias keeps every existing call site reading naturally.
+type Stats = stats.CacheStats
 
 type line struct {
 	tag   uint64
@@ -190,6 +190,10 @@ func (c *Cache) Invalidate(addr uint64) (present, dirty bool) {
 
 // Stats returns a copy of the counters.
 func (c *Cache) Stats() Stats { return c.stats }
+
+// Counters returns the live counter struct for telemetry registration:
+// the registry resets and snapshots it in place.
+func (c *Cache) Counters() *Stats { return &c.stats }
 
 // ResetStats zeroes the counters (used after warm-up, like the paper's 100M
 // instruction warm-up run).

@@ -1,5 +1,7 @@
 package cache
 
+import "repro/internal/stats"
+
 // Origin records which agent brought a line into the L1/PVB, so the
 // simulator can attribute "misses covered" (Table 4) to helper-thread
 // prefetching versus the hardware prefetcher.
@@ -103,20 +105,10 @@ func DefaultParams() Params {
 	}
 }
 
-// HierStats aggregates hierarchy-wide counters.
-type HierStats struct {
-	DemandLoads      uint64
-	DemandLoadMisses uint64 // L1 misses seen by demand loads (incl. PVB hits)
-	DemandStalls     uint64 // demand accesses with latency above L1 hit
-	HelperAccesses   uint64
-	HelperMisses     uint64 // helper accesses that initiated a fill
-	PrefetchIssued   uint64 // hardware prefetches actually launched
-	PrefetchUseful   uint64
-	HelperCovered    uint64
-	WriteBufFull     uint64
-	Writebacks       uint64 // dirty lines pushed toward memory
-	ICMisses         uint64
-}
+// HierStats aggregates hierarchy-wide counters. The definition lives in
+// the telemetry package (see the note on Stats); the alias preserves the
+// established name.
+type HierStats = stats.HierStats
 
 type pendingFill struct {
 	line  uint64
@@ -148,6 +140,9 @@ type Hierarchy struct {
 	writeBuf   []uint64      // line addresses of retired store misses
 
 	Stats HierStats
+
+	// Tracer receives cache-fill and cache-cover events when non-nil.
+	Tracer stats.Tracer
 }
 
 // NewHierarchy builds the memory system.
@@ -191,17 +186,39 @@ func (h *Hierarchy) writebackToL2(line uint64) {
 }
 
 // consumeOrigin checks attribution on a demand touch of line.
-func (h *Hierarchy) consumeOrigin(line uint64, r *Result) {
+func (h *Hierarchy) consumeOrigin(line uint64, r *Result, now uint64) {
 	switch h.origin[line] {
 	case OriginHelper:
 		r.HelperCovered = true
 		h.Stats.HelperCovered++
 		delete(h.origin, line)
+		h.emitCover(line, "helper", now)
 	case OriginHWPrefetch:
 		r.HWPrefCovered = true
 		h.Stats.PrefetchUseful++
 		delete(h.origin, line)
+		h.emitCover(line, "hw", now)
 	}
+}
+
+func (h *Hierarchy) emitCover(line uint64, by string, now uint64) {
+	if h.Tracer != nil {
+		h.Tracer.Emit(stats.Event{Cycle: now, Kind: stats.EvCacheCover, Addr: line, Level: by})
+	}
+}
+
+func (h *Hierarchy) emitFill(line uint64, from string, orig Origin, now uint64) {
+	if h.Tracer == nil {
+		return
+	}
+	dir := ""
+	switch orig {
+	case OriginHelper:
+		dir = "helper"
+	case OriginHWPrefetch:
+		dir = "hw"
+	}
+	h.Tracer.Emit(stats.Event{Cycle: now, Kind: stats.EvCacheFill, Addr: line, Level: from, Dir: dir})
 }
 
 // Access performs the timing for one data access at cycle now. write marks
@@ -230,7 +247,7 @@ func (h *Hierarchy) Access(addr uint64, write bool, kind Kind, now uint64) Resul
 			}
 		}
 		if kind == KindDemand {
-			h.consumeOrigin(line, &r)
+			h.consumeOrigin(line, &r, now)
 			if r.Latency > h.P.LatL1 {
 				h.Stats.DemandStalls++
 			}
@@ -258,10 +275,12 @@ func (h *Hierarchy) Access(addr uint64, write bool, kind Kind, now uint64) Resul
 				r.HelperCovered = true
 				h.Stats.HelperCovered++
 				h.inflOrig[line] = OriginDemand
+				h.emitCover(line, "helper", now)
 			case OriginHWPrefetch:
 				r.HWPrefCovered = true
 				h.Stats.PrefetchUseful++
 				h.inflOrig[line] = OriginDemand
+				h.emitCover(line, "hw", now)
 			}
 			h.Stats.DemandStalls++
 		}
@@ -276,7 +295,7 @@ func (h *Hierarchy) Access(addr uint64, write bool, kind Kind, now uint64) Resul
 		r.Level = LevelPVB
 		h.fillL1(line, dirty || write, OriginNone)
 		if kind == KindDemand {
-			h.consumeOrigin(line, &r)
+			h.consumeOrigin(line, &r, now)
 		}
 		return r
 	}
@@ -293,6 +312,7 @@ func (h *Hierarchy) Access(addr uint64, write bool, kind Kind, now uint64) Resul
 		h.fillL1(line, write, orig)
 		h.lineReady[line] = now + r.Latency
 		h.inflOrig[line] = orig
+		h.emitFill(line, "l2", orig, now)
 	} else {
 		// Memory, behind the bus.
 		start := now + h.P.LatL1 + h.P.LatL2
@@ -307,6 +327,7 @@ func (h *Hierarchy) Access(addr uint64, write bool, kind Kind, now uint64) Resul
 		h.fillL1(line, write, orig)
 		h.lineReady[line] = ready
 		h.inflOrig[line] = orig
+		h.emitFill(line, "mem", orig, now)
 	}
 	if kind == KindDemand {
 		h.Stats.DemandStalls++
@@ -349,6 +370,7 @@ func (h *Hierarchy) launchPrefetches(missLine uint64, now uint64) {
 		h.lineReady[cand] = ready
 		h.inflOrig[cand] = OriginHWPrefetch
 		h.pendingPVB = append(h.pendingPVB, pendingFill{line: cand, ready: ready, orig: OriginHWPrefetch})
+		h.emitFill(cand, "pvb", OriginHWPrefetch, now)
 	}
 }
 

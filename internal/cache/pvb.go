@@ -97,5 +97,8 @@ func (b *PVB) Insert(addr uint64, dirty bool) (victimAddr uint64, victimDirty, e
 // Stats returns a copy of the counters (Hits/Misses count Extract probes).
 func (b *PVB) Stats() Stats { return b.stats }
 
+// Counters returns the live counter struct for telemetry registration.
+func (b *PVB) Counters() *Stats { return &b.stats }
+
 // ResetStats zeroes the counters.
 func (b *PVB) ResetStats() { b.stats = Stats{} }

@@ -50,6 +50,14 @@ type Core struct {
 	DebugLookup func(di *DynInst)
 
 	S *stats.Sim
+
+	// registry maps every live counter struct of this core onto Snapshot
+	// fields; ResetStats and Snapshot derive from it, so a counter added
+	// to any registered component is reset and exported automatically.
+	registry stats.Registry
+	// tracer receives the core's own pipeline events (fork, squash,
+	// early-resolution, retire-stall); nil when tracing is off.
+	tracer stats.Tracer
 }
 
 // New builds a core. sliceTable may be nil (no slice hardware). entry is
@@ -90,6 +98,19 @@ func New(cfg Config, image *asm.Image, memory *mem.Memory, entry uint64, sliceTa
 	c.main.Alive = true
 	c.main.Fetching = true
 	c.main.PC = entry
+
+	c.registry.Register("Sim", c.S)
+	c.registry.Register("Hier", &c.hier.Stats)
+	c.registry.Register("L1D", c.hier.L1D.Counters())
+	c.registry.Register("L1I", c.hier.L1I.Counters())
+	c.registry.Register("L2", c.hier.L2.Counters())
+	c.registry.Register("PVB", c.hier.PVB.Counters())
+	c.registry.Register("Bpred.YAGS", &c.yags.Stats)
+	c.registry.Register("Bpred.Indirect", &c.indirect.Stats)
+	c.registry.Register("Bpred.RAS", &c.main.RAS.Stats)
+	if c.corr != nil {
+		c.registry.Register("Corr", &c.corr.Stats)
+	}
 	return c, nil
 }
 
@@ -116,16 +137,50 @@ func (c *Core) Now() uint64 { return c.now }
 
 // ResetStats zeroes all counters while keeping caches, predictors, and
 // machine state warm — run a warm-up region, reset, then measure, like the
-// paper's 100M-instruction warm-up.
+// paper's 100M-instruction warm-up. It walks the telemetry registry, so
+// every registered component resets — there is no per-component list here
+// to forget when a counter struct grows.
 func (c *Core) ResetStats() {
-	c.S = stats.New()
-	c.hier.Stats = cache.HierStats{}
-	c.hier.L1D.ResetStats()
-	c.hier.L1I.ResetStats()
-	c.hier.L2.ResetStats()
-	c.hier.PVB.ResetStats()
+	c.registry.Reset()
+}
+
+// Snapshot deep-copies every registered counter struct into one
+// machine-readable Snapshot — the unit of export for -json output and the
+// harness rows.
+func (c *Core) Snapshot() stats.Snapshot {
+	return c.registry.Snapshot()
+}
+
+// Components exposes the telemetry registry contents (tests assert reset
+// and export completeness against it).
+func (c *Core) Components() []stats.Component {
+	return c.registry.Components()
+}
+
+// SetTracer routes structured telemetry events from the core, the memory
+// hierarchy, and the correlator to t. The correlator has no clock, so its
+// events are wrapped to stamp the current cycle. Pass nil to disable.
+func (c *Core) SetTracer(t stats.Tracer) {
+	c.tracer = t
+	c.hier.Tracer = t
 	if c.corr != nil {
-		c.corr.Stats = slicehw.CorrStats{}
+		if t == nil {
+			c.corr.Tracer = nil
+		} else {
+			c.corr.Tracer = stats.FuncTracer(func(e stats.Event) {
+				e.Cycle = c.now
+				t.Emit(e)
+			})
+		}
+	}
+}
+
+// emit sends one core pipeline event, stamping the current cycle. A nil
+// tracer makes this a branch-predictable no-op on the hot path.
+func (c *Core) emit(e stats.Event) {
+	if c.tracer != nil {
+		e.Cycle = c.now
+		c.tracer.Emit(e)
 	}
 }
 

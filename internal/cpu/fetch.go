@@ -4,6 +4,7 @@ import (
 	"repro/internal/bpred"
 	"repro/internal/isa"
 	"repro/internal/slicehw"
+	"repro/internal/stats"
 )
 
 // fetchStage selects one thread per cycle with an ICOUNT-like policy
@@ -248,14 +249,17 @@ func (c *Core) fork(di *DynInst, s *slicehw.Slice) {
 	// problem instructions that are currently behaving well.
 	if c.Cfg.ConfidenceGatedForks && !c.sliceWorthForking(c.sliceRefs[s]) {
 		c.S.ForksGated++
+		c.emit(stats.Event{Kind: stats.EvForkGated, PC: di.PC, Slice: s.Index})
 		return
 	}
 	h := c.idleThread()
 	if h == nil {
 		c.S.ForksIgnored++
+		c.emit(stats.Event{Kind: stats.EvForkIgnored, PC: di.PC, Slice: s.Index})
 		return
 	}
 	c.S.Forks++
+	c.emit(stats.Event{Kind: stats.EvFork, PC: di.PC, Slice: s.Index, Addr: s.SlicePC})
 	h.reset()
 	h.Alive = true
 	h.Fetching = true

@@ -6,6 +6,7 @@ import (
 	"repro/internal/bpred"
 	"repro/internal/cache"
 	"repro/internal/isa"
+	"repro/internal/stats"
 )
 
 // issueStage selects ready instructions oldest-first across all threads,
@@ -256,6 +257,11 @@ func (c *Core) fillPGI(di *DynInst) {
 	// correct, so this can introduce extra squashes; those are repaired
 	// when the branch resolves (§5.3).
 	c.S.EarlyResolutions++
+	dirs := "not-taken"
+	if dir {
+		dirs = "taken"
+	}
+	c.emit(stats.Event{Kind: stats.EvEarlyResolve, PC: consumer.PC, Dir: dirs})
 	t := consumer.Thread
 	c.squashAfter(consumer)
 	consumer.PredTaken = dir

@@ -1,6 +1,9 @@
 package cpu
 
-import "repro/internal/isa"
+import (
+	"repro/internal/isa"
+	"repro/internal/stats"
+)
 
 // retireStage commits completed instructions in order, main thread first.
 // Predictor training, PDE attribution, and store write-back all happen
@@ -21,6 +24,7 @@ func (c *Core) retireStage() {
 			if t.IsMain && di.Static.IsStore() && !di.Out.Fault {
 				if !c.hier.StoreRetire(di.Out.Addr, c.now) {
 					c.S.RetireStalls++
+					c.emit(stats.Event{Kind: stats.EvRetireStall, PC: di.PC, Addr: di.Out.Addr})
 					break // write buffer full; retry next cycle
 				}
 			}

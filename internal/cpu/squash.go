@@ -1,5 +1,7 @@
 package cpu
 
+import "repro/internal/stats"
+
 // squashAfter removes every instruction of di's thread younger than di,
 // undoing functional side effects (youngest first), correlator actions,
 // and helper forks. The thread's speculative front-end state is restored
@@ -7,6 +9,7 @@ package cpu
 func (c *Core) squashAfter(di *DynInst) {
 	t := di.Thread
 
+	squashed := uint64(0)
 	// The fetch queue holds the youngest instructions.
 	for i := len(t.fetchq) - 1; i >= 0; i-- {
 		if t.fetchq[i].Seq <= di.Seq {
@@ -14,6 +17,7 @@ func (c *Core) squashAfter(di *DynInst) {
 		}
 		c.squashInst(t.fetchq[i])
 		t.fetchq = t.fetchq[:i]
+		squashed++
 	}
 	for i := len(t.rob) - 1; i >= 0; i-- {
 		if t.rob[i].Seq <= di.Seq {
@@ -21,6 +25,10 @@ func (c *Core) squashAfter(di *DynInst) {
 		}
 		c.squashInst(t.rob[i])
 		t.rob = t.rob[:i]
+		squashed++
+	}
+	if squashed > 0 {
+		c.emit(stats.Event{Kind: stats.EvSquash, PC: di.PC, N: squashed})
 	}
 
 	// Drop squashed stores from the disambiguation list.
@@ -88,6 +96,9 @@ func (c *Core) squashHelper(h *Thread) {
 		return
 	}
 	c.S.ForksSquashed++
+	if h.Slice != nil {
+		c.emit(stats.Event{Kind: stats.EvForkSquash, Slice: h.Slice.Index})
+	}
 	for i := len(h.fetchq) - 1; i >= 0; i-- {
 		c.squashInst(h.fetchq[i])
 	}

@@ -1,0 +1,115 @@
+package cpu
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/slicehw"
+	"repro/internal/stats"
+)
+
+// TestResetStatsZeroesEverySnapshotCounter is the registry's contract:
+// after ResetStats, every numeric counter of every registered component
+// reads zero through Snapshot. Because the registry walks components by
+// reflection, a counter added to any component is covered automatically —
+// there is no hand-maintained reset list left to forget.
+func TestResetStatsZeroesEverySnapshotCounter(t *testing.T) {
+	w := buildMini(t, 100000) // enough outer iterations to outlast both Run calls
+	m := mem.New()
+	w.initMem(m)
+	core := MustNew(Config4Wide(), w.image, m, w.entry, slicehw.MustTable(w.slices))
+	core.Run(40000)
+
+	before := core.Snapshot()
+	if before.Sim.MainRetired == 0 || before.L1D.Accesses == 0 ||
+		before.Bpred.YAGS.Lookups == 0 || before.Corr.Generated == 0 {
+		t.Fatalf("warm-up left key counters zero: %+v", before)
+	}
+
+	core.ResetStats()
+	after := core.Snapshot()
+	stats.ForEachCounter(&after, func(path string, v reflect.Value) {
+		if !v.IsZero() {
+			t.Errorf("counter %s survived ResetStats: %v", path, v.Interface())
+		}
+	})
+	if len(after.Sim.Static) != 0 {
+		t.Errorf("per-PC stats survived ResetStats: %d entries", len(after.Sim.Static))
+	}
+
+	// Reset clears telemetry only; the machine keeps running.
+	core.Run(40000)
+	if s := core.Snapshot(); s.Sim.MainRetired == 0 {
+		t.Error("core stopped retiring after ResetStats")
+	}
+}
+
+// TestComponentsCoverSnapshot ensures every Snapshot field is backed by a
+// registered live component, so Snapshot() can never silently return a
+// stale zero struct for one subsystem.
+func TestComponentsCoverSnapshot(t *testing.T) {
+	w := buildMini(t, 50)
+	m := mem.New()
+	w.initMem(m)
+	core := MustNew(Config4Wide(), w.image, m, w.entry, slicehw.MustTable(w.slices))
+
+	covered := map[string]bool{}
+	for _, c := range core.Components() {
+		root, _, _ := strings.Cut(c.Field, ".")
+		covered[root] = true
+	}
+	st := reflect.TypeOf(stats.Snapshot{})
+	for i := 0; i < st.NumField(); i++ {
+		if !covered[st.Field(i).Name] {
+			t.Errorf("Snapshot field %s has no registered component", st.Field(i).Name)
+		}
+	}
+}
+
+// TestTracerReceivesSliceEvents drives the mini slice workload with a
+// collecting tracer and checks the event stream covers the prediction
+// lifecycle, with correlator events carrying the core's cycle stamp.
+func TestTracerReceivesSliceEvents(t *testing.T) {
+	w := buildMini(t, 200)
+	m := mem.New()
+	w.initMem(m)
+	core := MustNew(Config4Wide(), w.image, m, w.entry, slicehw.MustTable(w.slices))
+
+	byKind := map[stats.EventKind][]stats.Event{}
+	core.SetTracer(stats.FuncTracer(func(e stats.Event) {
+		byKind[e.Kind] = append(byKind[e.Kind], e)
+	}))
+	core.Run(1 << 40)
+	if !core.Done() {
+		t.Fatal("did not halt")
+	}
+
+	for _, kind := range []stats.EventKind{
+		stats.EvFork, stats.EvInstance, stats.EvPredAlloc,
+		stats.EvPredGenerate, stats.EvPredBind, stats.EvPredKill,
+	} {
+		if len(byKind[kind]) == 0 {
+			t.Errorf("no %q events traced", kind)
+		}
+	}
+
+	snap := core.Snapshot()
+	if got, want := uint64(len(byKind[stats.EvPredGenerate])), snap.Corr.Filled; got != want {
+		t.Errorf("%d pred-generate events vs Corr.Filled=%d", got, want)
+	}
+	if got, want := uint64(len(byKind[stats.EvOverride])), snap.Corr.Overrides; got != want {
+		t.Errorf("%d override events vs Corr.Overrides=%d", got, want)
+	}
+
+	// Correlator events are stamped with the core clock by the tracer
+	// wrapper; cycles must be nonzero and non-decreasing is too strong
+	// (events of one cycle interleave), so check they stay in range.
+	last := core.Now()
+	for _, e := range byKind[stats.EvPredGenerate] {
+		if e.Cycle == 0 || e.Cycle > last {
+			t.Fatalf("pred-generate event with bad cycle stamp %d (core at %d)", e.Cycle, last)
+		}
+	}
+}

@@ -6,10 +6,8 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/cache"
 	"repro/internal/cpu"
 	"repro/internal/profile"
-	"repro/internal/slicehw"
 	"repro/internal/stats"
 	"repro/internal/workloads"
 )
@@ -41,16 +39,17 @@ func (s RunSpec) Key() string {
 		s.Workload, s.WithSlices, s.Warm, s.Run, s.Cfg.Fingerprint())
 }
 
-// RunResult is everything a driver may need from one simulation. The
-// stats are shared by every consumer of the memo entry and must be
-// treated as read-only.
+// RunResult is everything a driver may need from one simulation: the
+// run's full counter snapshot. It is shared by every consumer of the memo
+// entry and must be treated as read-only.
 type RunResult struct {
-	Stats *stats.Sim
-	Hier  cache.HierStats
-	Corr  slicehw.CorrStats
+	Snap stats.Snapshot
 	// Wall is how long the simulation itself took (zero for memo hits).
 	Wall time.Duration
 }
+
+// Stats returns the whole-run counters (the Snapshot's Sim component).
+func (r *RunResult) Stats() *stats.Sim { return &r.Snap.Sim }
 
 // Event describes one engine-level occurrence, delivered to the Progress
 // callback: a simulation that ran (Memoized=false) or a request served
@@ -158,11 +157,8 @@ func (e *Engine) Run(spec RunSpec) (*RunResult, error) {
 		return nil, err
 	}
 	start := time.Now()
-	core, s := runOnce(w, spec.Cfg, spec.WithSlices, spec.Warm, spec.Run)
-	res := &RunResult{Stats: s, Hier: core.Hier().Stats, Wall: time.Since(start)}
-	if corr := core.Correlator(); corr != nil {
-		res.Corr = corr.Stats
-	}
+	core := runOnce(w, spec.Cfg, spec.WithSlices, spec.Warm, spec.Run)
+	res := &RunResult{Snap: core.Snapshot(), Wall: time.Since(start)}
 	en.res = res
 	close(en.done)
 
@@ -239,7 +235,7 @@ func (e *Engine) profileFor(w *workloads.Workload, cfg cpu.Config) (profile.Resu
 	if err != nil {
 		return profile.Result{}, err
 	}
-	r := profile.Characterize(res.Stats, profile.DefaultOptions(spec.Run))
+	r := profile.Characterize(res.Stats(), profile.DefaultOptions(spec.Run))
 	e.profiles.Store(key, r)
 	return r, nil
 }

@@ -1,0 +1,61 @@
+package harness
+
+import "repro/internal/workloads"
+
+// ExportSchema versions the machine-readable experiment document. Bump it
+// whenever a field changes meaning or shape, so downstream consumers
+// (bench trajectories, plotting scripts) can dispatch on it.
+const ExportSchema = "specslice-experiments/1"
+
+// Export is the whole evaluation — every table and figure of the paper —
+// as one machine-readable document, the JSON counterpart of the formatted
+// text tables. Row types are shared with the text formatters, so the two
+// outputs cannot drift apart.
+type Export struct {
+	Schema    string        `json:"schema"`
+	Scale     float64       `json:"scale"`
+	Workloads []string      `json:"workloads"`
+	Table1    string        `json:"table1"` // static machine parameters, preformatted
+	Table2    []Table2Row   `json:"table2"`
+	Figure1   []Figure1Row  `json:"figure1"`
+	Table3    []Table3Row   `json:"table3"`
+	Figure11  []Figure11Row `json:"figure11"`
+	Table4    []Table4Col   `json:"table4"`
+	Engine    ExportEngine  `json:"engine"`
+}
+
+// ExportEngine summarizes the run that produced the document.
+type ExportEngine struct {
+	Simulations uint64 `json:"simulations"`
+	MemoHits    uint64 `json:"memoHits"`
+	SimInsts    uint64 `json:"simInsts"`
+	SimWallMS   int64  `json:"simWallMs"`
+}
+
+// Export runs every experiment for ws on the engine and assembles the
+// document. Simulations shared between tables (the 4-wide baselines,
+// Figure 11's and Table 4's slice runs) execute once, exactly as in the
+// text path.
+func (e *Engine) Export(ws []*workloads.Workload) Export {
+	doc := Export{
+		Schema: ExportSchema,
+		Scale:  e.Params.Scale,
+		Table1: FormatTable1(),
+	}
+	for _, w := range ws {
+		doc.Workloads = append(doc.Workloads, w.Name)
+	}
+	doc.Table2 = e.Table2(ws)
+	doc.Figure1 = e.Figure1(ws)
+	doc.Table3 = Table3(ws)
+	doc.Figure11 = e.Figure11(ws)
+	doc.Table4 = e.Table4(ws)
+	st := e.Stats()
+	doc.Engine = ExportEngine{
+		Simulations: st.Misses,
+		MemoHits:    st.Hits,
+		SimInsts:    st.SimInsts,
+		SimWallMS:   st.SimWall.Milliseconds(),
+	}
+	return doc
+}

@@ -148,14 +148,18 @@ func FormatTable4(cols []Table4Col) string {
 		{"Predictions generated", func(c Table4Col) string { return fmt.Sprintf("%d", c.PredsGenerated) }},
 		{"Predictions used", func(c Table4Col) string { return fmt.Sprintf("%d", c.PredsUsed) }},
 		{"Mispredictions covered", func(c Table4Col) string { return fmt.Sprintf("%d", c.MispCovered) }},
-		{"Mispredictions removed", func(c Table4Col) string { return fmt.Sprintf("%d (%s)", c.MispRemoved, fnum("%.0f%%", c.MispRemovedPct)) }},
+		{"Mispredictions removed", func(c Table4Col) string {
+			return fmt.Sprintf("%d (%s)", c.MispRemoved, fnum("%.0f%%", c.MispRemovedPct))
+		}},
 		{"Incorrect predictions", func(c Table4Col) string { return fmt.Sprintf("%d", c.IncorrectPreds) }},
 		{"Late predictions", func(c Table4Col) string { return fnum("%.0f%%", c.LatePct) }},
 		{"Early resolutions", func(c Table4Col) string { return fmt.Sprintf("%d", c.EarlyResolutions) }},
 		{"Problem loads covered", func(c Table4Col) string { return fmt.Sprintf("%d", c.LoadsCovered) }},
 		{"Prefetches performed", func(c Table4Col) string { return fmt.Sprintf("%d", c.Prefetches) }},
 		{"Cache misses covered", func(c Table4Col) string { return fmt.Sprintf("%d", c.MissesCovered) }},
-		{"Net miss reduction", func(c Table4Col) string { return fmt.Sprintf("%d (%s)", c.MissReduction, fnum("%.0f%%", c.MissReductionPct)) }},
+		{"Net miss reduction", func(c Table4Col) string {
+			return fmt.Sprintf("%d (%s)", c.MissReduction, fnum("%.0f%%", c.MissReductionPct))
+		}},
 		{"Speedup", func(c Table4Col) string { return fnum("%.1f%%", c.SpeedupPct) }},
 		{"Fraction of speedup from loads", func(c Table4Col) string { return "~" + fnum("%.0f%%", c.FracFromLoads*100) }},
 	}

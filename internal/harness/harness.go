@@ -7,7 +7,6 @@ package harness
 
 import (
 	"repro/internal/cpu"
-	"repro/internal/stats"
 	"repro/internal/workloads"
 )
 
@@ -35,11 +34,11 @@ func (p Params) regions(w *workloads.Workload) (warm, run uint64) {
 }
 
 // runOnce runs one workload region under cfg, with or without its slices,
-// and returns the measured stats and the core (for hierarchy/correlator
-// counters). Each call builds a fresh core and memory, so concurrent
-// calls over shared read-only workload images are independent; the engine
-// relies on this to parallelize.
-func runOnce(w *workloads.Workload, cfg cpu.Config, withSlices bool, warm, run uint64) (*cpu.Core, *stats.Sim) {
+// and returns the core; callers take its Snapshot for every counter. Each
+// call builds a fresh core and memory, so concurrent calls over shared
+// read-only workload images are independent; the engine relies on this to
+// parallelize.
+func runOnce(w *workloads.Workload, cfg cpu.Config, withSlices bool, warm, run uint64) *cpu.Core {
 	var core *cpu.Core
 	if withSlices {
 		core = cpu.MustNew(cfg, w.Image, w.NewMemory(), w.Entry, w.SliceTable())
@@ -48,8 +47,8 @@ func runOnce(w *workloads.Workload, cfg cpu.Config, withSlices bool, warm, run u
 	}
 	core.Run(warm)
 	core.ResetStats()
-	s := core.Run(run)
-	return core, s
+	core.Run(run)
+	return core
 }
 
 // --- Table 2 ---
@@ -152,9 +151,9 @@ func (e *Engine) Figure1(ws []*workloads.Workload) []Figure1Row {
 	for i, w := range ws {
 		row := Figure1Row{Program: w.Name}
 		for wi := range widthConfigs {
-			row.Base[wi] = baseRes[2*i+wi].Stats.IPC()
-			row.ProbPerf[wi] = perfRes[4*i+2*wi].Stats.IPC()
-			row.AllPerf[wi] = perfRes[4*i+2*wi+1].Stats.IPC()
+			row.Base[wi] = baseRes[2*i+wi].Stats().IPC()
+			row.ProbPerf[wi] = perfRes[4*i+2*wi].Stats().IPC()
+			row.AllPerf[wi] = perfRes[4*i+2*wi+1].Stats().IPC()
 		}
 		rows = append(rows, row)
 	}
@@ -257,7 +256,7 @@ func (e *Engine) Figure11(ws []*workloads.Workload) []Figure11Row {
 
 	rows := make([]Figure11Row, 0, len(ws))
 	for i, w := range ws {
-		base, sl, lim := res[3*i].Stats, res[3*i+1].Stats, res[3*i+2].Stats
+		base, sl, lim := res[3*i].Stats(), res[3*i+1].Stats(), res[3*i+2].Stats()
 		rows = append(rows, Figure11Row{
 			Program:      w.Name,
 			BaseIPC:      base.IPC(),
@@ -335,7 +334,7 @@ func (e *Engine) Table4(ws []*workloads.Workload) []Table4Col {
 
 	cols := make([]Table4Col, 0, len(ws))
 	for i, w := range ws {
-		base, sl, pref := res[3*i].Stats, res[3*i+1].Stats, res[3*i+2].Stats
+		base, sl, pref := res[3*i].Stats(), res[3*i+1].Stats(), res[3*i+2].Stats()
 
 		cov := coveredPerfect(w)
 		var mispCov, missCov uint64

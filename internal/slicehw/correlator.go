@@ -10,6 +10,8 @@ package slicehw
 // exactly (§5.2), and a prediction arriving after its branch was fetched is
 // handled as a late prediction with optional early resolution (§5.3).
 
+import "repro/internal/stats"
+
 // PredState is the lifecycle state of Figure 10's per-prediction "state".
 type PredState uint8
 
@@ -101,22 +103,10 @@ type queue struct {
 	entries  []*Pred
 }
 
-// CorrStats counts correlator events for Table 4.
-type CorrStats struct {
-	Generated     uint64 // predictions allocated (PGI fetches)
-	Filled        uint64
-	Overrides     uint64 // branch fetches that used a Full prediction
-	LateMatches   uint64 // branch fetches that matched an Empty entry
-	LateMismatch  uint64 // late fills disagreeing with the used direction
-	LoopKills     uint64
-	SliceKills    uint64
-	KillNoTarget  uint64 // kill fetched with nothing to kill
-	QueueFull     uint64 // allocation dropped
-	UndoneKills   uint64
-	UndoneUses    uint64
-	UndoneAllocs  uint64
-	InstanceDrops uint64 // instances removed by fork squash
-}
+// CorrStats counts correlator events for Table 4. The definition lives in
+// the telemetry package so stats.Snapshot can embed it; the alias keeps
+// the established name.
+type CorrStats = stats.CorrStats
 
 // Correlator is the branch-queue array of Figure 10.
 type Correlator struct {
@@ -125,17 +115,25 @@ type Correlator struct {
 	liveBySlice  map[*Slice][]*Instance
 	nextID       uint64
 
-	// Trace, when non-nil, receives one call per correlator event — a
-	// debugging aid used by tests and the slicesim -trace flag.
-	Trace func(event string, args ...any)
+	// Tracer, when non-nil, receives one typed event per correlator
+	// mutation. The correlator has no clock: events leave with Cycle 0 and
+	// the CPU wraps the tracer to stamp the current cycle.
+	Tracer stats.Tracer
 
 	Stats CorrStats
 }
 
-func (c *Correlator) trace(event string, args ...any) {
-	if c.Trace != nil {
-		c.Trace(event, args...)
+func (c *Correlator) emit(e stats.Event) {
+	if c.Tracer != nil {
+		c.Tracer.Emit(e)
 	}
+}
+
+func dirString(taken bool) string {
+	if taken {
+		return "taken"
+	}
+	return "not-taken"
 }
 
 // NewCorrelator builds a correlator allowing maxPerBranch in-flight
@@ -168,7 +166,7 @@ func (c *Correlator) NewInstance(s *Slice) *Instance {
 		inst.skipSliceKill = 1
 	}
 	c.liveBySlice[s] = append(c.liveBySlice[s], inst)
-	c.trace("fork", s.Name, inst.ID)
+	c.emit(stats.Event{Kind: stats.EvInstance, Slice: s.Index, Inst: int(inst.ID)})
 	return inst
 }
 
@@ -181,7 +179,7 @@ func (c *Correlator) RemoveInstance(inst *Instance) {
 	}
 	inst.removed = true
 	c.Stats.InstanceDrops++
-	c.trace("rm-instance", inst.Slice.Name, inst.ID)
+	c.emit(stats.Event{Kind: stats.EvInstanceDrop, Slice: inst.Slice.Index, Inst: int(inst.ID)})
 	for _, p := range inst.entries {
 		c.removePred(p)
 	}
@@ -237,7 +235,8 @@ func (c *Correlator) Allocate(inst *Instance, branchPC uint64) *Pred {
 	q.entries = append(q.entries, p)
 	inst.entries = append(inst.entries, p)
 	c.Stats.Generated++
-	c.trace("alloc", branchPC, inst.ID, len(q.entries))
+	c.emit(stats.Event{Kind: stats.EvPredAlloc, PC: branchPC, Slice: inst.Slice.Index,
+		Inst: int(inst.ID), N: uint64(len(q.entries))})
 	return p
 }
 
@@ -247,7 +246,7 @@ func (c *Correlator) UndoAllocate(p *Pred) {
 		return
 	}
 	c.Stats.UndoneAllocs++
-	c.trace("undo-alloc", p.BranchPC, p.inst.ID)
+	c.emit(stats.Event{Kind: stats.EvUndoAlloc, PC: p.BranchPC, Slice: p.inst.Slice.Index, Inst: int(p.inst.ID)})
 	c.removePred(p)
 }
 
@@ -272,7 +271,8 @@ func (c *Correlator) Fill(p *Pred, dir bool) FillResult {
 	p.Filled = true
 	p.Dir = dir
 	c.Stats.Filled++
-	c.trace("fill", p.BranchPC, p.inst.ID, dir, p.Used)
+	c.emit(stats.Event{Kind: stats.EvPredGenerate, PC: p.BranchPC, Slice: p.inst.Slice.Index,
+		Inst: int(p.inst.ID), Dir: dirString(dir)})
 	// A kill only stops future matching; an already-consumed entry still
 	// names its consumer, and a late value that contradicts the fetched
 	// direction can resolve that branch early (§5.3).
@@ -313,14 +313,18 @@ func (c *Correlator) Lookup(branchPC uint64, fallbackDir bool, consumer any) (p 
 		if e.Filled {
 			e.UsedDir = e.Dir
 			c.Stats.Overrides++
-			c.trace("use", branchPC, e.inst.ID, e.Dir)
+			c.emit(stats.Event{Kind: stats.EvPredBind, PC: branchPC, Slice: e.inst.Slice.Index,
+				Inst: int(e.inst.ID), Dir: dirString(e.Dir), Level: "full"})
+			c.emit(stats.Event{Kind: stats.EvOverride, PC: branchPC, Slice: e.inst.Slice.Index,
+				Inst: int(e.inst.ID), Dir: dirString(e.Dir)})
 			return e, e.Dir, true
 		}
 		// Empty → Late: the branch proceeds with the conventional
 		// prediction; the PGI may still resolve it early.
 		e.UsedDir = fallbackDir
 		c.Stats.LateMatches++
-		c.trace("use-late", branchPC, e.inst.ID, fallbackDir)
+		c.emit(stats.Event{Kind: stats.EvPredBind, PC: branchPC, Slice: e.inst.Slice.Index,
+			Inst: int(e.inst.ID), Dir: dirString(fallbackDir), Level: "late"})
 		return e, fallbackDir, false
 	}
 	return nil, fallbackDir, false
@@ -334,7 +338,7 @@ func (c *Correlator) UndoUse(p *Pred) {
 	p.Used = false
 	p.Consumer = nil
 	c.Stats.UndoneUses++
-	c.trace("undo-use", p.BranchPC, p.inst.ID, p.IndexInInstance())
+	c.emit(stats.Event{Kind: stats.EvUndoBind, PC: p.BranchPC, Slice: p.inst.Slice.Index, Inst: int(p.inst.ID)})
 }
 
 // RedirectUse updates the used direction after an early resolution flipped
@@ -399,7 +403,8 @@ func (c *Correlator) KillLoop(s *Slice) *KillRecord {
 				e.Killed = true
 				rec.Preds = append(rec.Preds, e)
 				c.Stats.LoopKills++
-				c.trace("loopkill", bpc, e.inst.ID)
+				c.emit(stats.Event{Kind: stats.EvPredKill, PC: bpc, Slice: inst.Slice.Index,
+					Inst: int(inst.ID), Level: "loop"})
 				break
 			}
 		}
@@ -426,12 +431,13 @@ func (c *Correlator) KillSlice(s *Slice) *KillRecord {
 		if inst.skipSliceKill > 0 {
 			inst.skipSliceKill--
 			rec.skipSliceInsts = append(rec.skipSliceInsts, inst)
-			c.trace("slicekill-skip", s.Name, inst.ID)
+			c.emit(stats.Event{Kind: stats.EvKillSkip, Slice: s.Index, Inst: int(inst.ID), Level: "slice"})
 			continue
 		}
 		inst.finished = true
 		rec.finishedInsts = append(rec.finishedInsts, inst)
-		c.trace("slicekill", s.Name, inst.ID, len(inst.entries))
+		c.emit(stats.Event{Kind: stats.EvPredKill, Slice: s.Index, Inst: int(inst.ID),
+			Level: "slice", N: uint64(len(inst.entries))})
 		for _, e := range inst.entries {
 			if !e.Killed && !e.removed {
 				e.Killed = true
@@ -464,7 +470,7 @@ func (c *Correlator) UndoKill(rec *KillRecord) {
 	}
 	for _, inst := range rec.finishedInsts {
 		inst.finished = false
-		c.trace("undo-slicekill", rec.slice.Name, inst.ID)
+		c.emit(stats.Event{Kind: stats.EvUndoKill, Slice: rec.slice.Index, Inst: int(inst.ID), Level: "slice"})
 	}
 }
 

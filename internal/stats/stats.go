@@ -6,7 +6,7 @@ package stats
 // Static accumulates retired, correct-path events for one static
 // instruction (one PC) of the main thread.
 type Static struct {
-	PC    uint64
+	PC    uint64 `stats:"id"`
 	Execs uint64
 
 	// Loads.

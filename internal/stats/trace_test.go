@@ -1,0 +1,138 @@
+package stats
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+var traceSample = []Event{
+	{Cycle: 10, Kind: EvFork, PC: 0x40, Slice: 2, Addr: 0x1000},
+	{Cycle: 11, Kind: EvPredGenerate, PC: 0x48, Slice: 2, Inst: 7, Dir: "taken"},
+	{Cycle: 12, Kind: EvPredBind, PC: 0x48, Inst: 7, Level: "full"},
+	{Cycle: 12, Kind: EvOverride, PC: 0x48, Dir: "taken"},
+	{Cycle: 30, Kind: EvCacheFill, Addr: 0x2000, Dir: "helper", Level: "l2"},
+	{Cycle: 31, Kind: EvSquash, PC: 0x50, N: 14},
+	{Cycle: 0, Kind: EvRetireStall, PC: 0x58, Addr: 0x3000},
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewJSONLTracer(&buf)
+	for _, e := range traceSample {
+		tr.Emit(e)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	var got []Event
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", sc.Text(), err)
+		}
+		got = append(got, e)
+	}
+	if sc.Err() != nil {
+		t.Fatal(sc.Err())
+	}
+	if len(got) != len(traceSample) {
+		t.Fatalf("decoded %d events, emitted %d", len(got), len(traceSample))
+	}
+	for i, e := range got {
+		if e != traceSample[i] {
+			t.Errorf("event %d: got %+v, want %+v", i, e, traceSample[i])
+		}
+	}
+}
+
+func TestJSONLOmitsEmptyFields(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewJSONLTracer(&buf)
+	tr.Emit(Event{Cycle: 5, Kind: EvInstance})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	line := strings.TrimSpace(buf.String())
+	if want := `{"cyc":5,"ev":"instance"}`; line != want {
+		t.Errorf("sparse event = %s, want %s", line, want)
+	}
+}
+
+func TestChromeTracerOutput(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewChromeTracer(&buf)
+	for _, e := range traceSample {
+		tr.Emit(e)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	var evs []struct {
+		Name string          `json:"name"`
+		Ph   string          `json:"ph"`
+		TS   uint64          `json:"ts"`
+		TID  int             `json:"tid"`
+		Args json.RawMessage `json:"args"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatalf("chrome output is not a JSON array: %v\n%s", err, buf.String())
+	}
+	if len(evs) != len(traceSample) {
+		t.Fatalf("chrome array has %d events, emitted %d", len(evs), len(traceSample))
+	}
+	for i, ev := range evs {
+		want := traceSample[i]
+		if ev.Name != string(want.Kind) || ev.Ph != "i" || ev.TS != want.Cycle || ev.TID != want.Slice {
+			t.Errorf("event %d = %+v, want kind=%s ts=%d tid=%d", i, ev, want.Kind, want.Cycle, want.Slice)
+		}
+		var args Event
+		if err := json.Unmarshal(ev.Args, &args); err != nil {
+			t.Fatalf("event %d args: %v", i, err)
+		}
+		if args != want {
+			t.Errorf("event %d args = %+v, want %+v", i, args, want)
+		}
+	}
+}
+
+func TestChromeTracerEmptyIsValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewChromeTracer(&buf)
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var evs []json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatalf("empty chrome trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(evs) != 0 {
+		t.Errorf("empty trace decoded to %d events", len(evs))
+	}
+}
+
+func TestTextTracerFormat(t *testing.T) {
+	var buf bytes.Buffer
+	tr := NewTextTracer(&buf)
+	tr.Emit(Event{Cycle: 42, Kind: EvPredKill, PC: 0x1140, Inst: 3, Level: "loop"})
+	line := buf.String()
+	for _, want := range []string{"cyc=42", "pred-kill", "pc=0x1140", "inst=3", "level=loop"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("text line %q missing %q", line, want)
+		}
+	}
+}
+
+func TestFuncTracer(t *testing.T) {
+	var got []Event
+	tr := FuncTracer(func(e Event) { got = append(got, e) })
+	tr.Emit(Event{Kind: EvFork, Slice: 1})
+	if len(got) != 1 || got[0].Kind != EvFork {
+		t.Errorf("FuncTracer did not forward: %+v", got)
+	}
+}
