@@ -16,6 +16,7 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/cpu"
@@ -156,6 +157,70 @@ func BenchmarkWorkload(b *testing.B) {
 				b.SetBytes(region)
 			})
 		}
+	}
+}
+
+// BenchmarkCycleLoopAllocs measures heap allocations in the steady-state
+// cycle loop: the core is built and warmed outside the timed region, so
+// allocs/op covers only Run() over the measured region. With DynInst
+// pooling and ring queues the loop itself is allocation-free; the residue
+// is lazy per-PC stat records re-created after ResetStats, bounded by the
+// region's static footprint — far under one alloc per simulated
+// instruction (the old loop allocated ~17 per instruction).
+func BenchmarkCycleLoopAllocs(b *testing.B) {
+	for _, name := range []string{"vpr", "mcf"} {
+		for _, slices := range []bool{false, true} {
+			w := pickOne(b, name)
+			b.Run(fmt.Sprintf("%s/slices=%v", name, slices), func(b *testing.B) {
+				const region = 60_000
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					var core *cpu.Core
+					if slices {
+						core = cpu.MustNew(cpu.Config4Wide(), w.Image, w.NewMemory(), w.Entry, w.SliceTable())
+					} else {
+						core = cpu.MustNew(cpu.Config4Wide(), w.Image, w.NewMemory(), w.Entry, nil)
+					}
+					core.Run(20_000)
+					core.ResetStats()
+					b.StartTimer()
+					core.Run(region)
+				}
+				b.SetBytes(region)
+			})
+		}
+	}
+}
+
+// TestCycleLoopAllocBudget is the enforced form of BenchmarkCycleLoopAllocs:
+// a warmed core must average at most one heap allocation per simulated
+// instruction over a measured region. The pools make the true figure ~0;
+// the budget of 1.0 leaves room for the lazy stat-record refills without
+// ever re-admitting the old per-cycle allocation churn.
+func TestCycleLoopAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc accounting needs a quiet heap")
+	}
+	w, err := workloads.ByName("vpr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	core := cpu.MustNew(cpu.Config4Wide(), w.Image, w.NewMemory(), w.Entry, w.SliceTable())
+	core.Run(20_000)
+	core.ResetStats()
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	s := core.Run(60_000)
+	runtime.ReadMemStats(&after)
+
+	allocs := after.Mallocs - before.Mallocs
+	perInst := float64(allocs) / float64(s.MainRetired)
+	t.Logf("%d allocs over %d retired instructions (%.4f/inst)", allocs, s.MainRetired, perInst)
+	if perInst > 1.0 {
+		t.Errorf("cycle loop allocated %.2f/inst, budget is 1.0 — pooling regressed", perInst)
 	}
 }
 

@@ -1,0 +1,155 @@
+// Command benchjson converts `go test -bench` output into a stable JSON
+// document, so benchmark results can be committed alongside the code that
+// produced them (BENCH_*.json) and diffed across PRs by machines instead
+// of eyeballs.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'Workload|CycleLoopAllocs' -benchmem . | benchjson -out BENCH_PR3.json
+//	go test -bench . -benchmem ./... | benchjson            # JSON to stdout
+//
+// Every `value unit` pair on a benchmark line is kept: the standard ns/op,
+// B/op, and allocs/op, plus any b.ReportMetric custom units (IPC,
+// mispredicts, ...). For benchmarks that b.SetBytes their simulated region
+// (BenchmarkWorkload*, BenchmarkCycleLoopAllocs), one "byte" is one
+// simulated instruction, so the MB/s column is simulated megainstructions
+// per second; benchjson surfaces that as the derived insts_per_sec.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name  string `json:"name"`
+	Iters int64  `json:"iterations"`
+	// NsPerOp, BytesPerOp, AllocsPerOp are the standard testing columns
+	// (zero when the column is absent).
+	NsPerOp     float64 `json:"ns_op"`
+	BytesPerOp  float64 `json:"b_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_op,omitempty"`
+	// InstsPerSec is derived from the MB/s column (SetBytes(region) makes
+	// bytes == simulated instructions); zero when the benchmark has no
+	// throughput column.
+	InstsPerSec float64 `json:"insts_per_sec,omitempty"`
+	// Metrics holds every remaining value/unit pair (b.ReportMetric).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the top-level document.
+type Report struct {
+	Schema     string      `json:"schema"`
+	Go         string      `json:"go,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	rep := Report{Schema: "bench/v1"}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"), strings.HasPrefix(line, "goarch:"):
+			// Environment echoes; the cpu/pkg lines below carry the useful part.
+		case strings.HasPrefix(line, "pkg:"):
+			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseLine(line); ok {
+				rep.Benchmarks = append(rep.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine parses one result line:
+//
+//	BenchmarkFoo/bar-8   12   9200100 ns/op   0.99 MB/s   1.36 IPC   104 B/op   28153 allocs/op
+//
+// i.e. a name, an iteration count, then value/unit pairs.
+func parseLine(line string) (Benchmark, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: trimProcSuffix(f[0]), Iters: iters}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch unit := f[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		case "MB/s":
+			// SetBytes(simulated instructions) ⇒ MB/s is Minsts/s.
+			b.InstsPerSec = v * 1e6
+		default:
+			if b.Metrics == nil {
+				b.Metrics = make(map[string]float64)
+			}
+			b.Metrics[unit] = v
+		}
+	}
+	return b, true
+}
+
+// trimProcSuffix drops the trailing -GOMAXPROCS from a benchmark name, so
+// reports from differently sized machines diff cleanly.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

@@ -97,6 +97,11 @@ func main() {
 		core.SetTracer(sink)
 	}
 	s := core.Run(region)
+	if s.CycleGuardHits > 0 {
+		fmt.Fprintf(os.Stderr,
+			"slicesim: WARNING: run hit the MaxCycles guard after %d cycles — results cover a truncated region\n",
+			s.Cycles)
+	}
 
 	if *asJSON {
 		snap := core.Snapshot()

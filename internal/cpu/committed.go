@@ -7,8 +7,8 @@ package cpu
 // before the *oldest* in-flight store — i.e., the retired state.
 func (c *Core) committedRead(addr uint64, size int) (uint64, bool) {
 	v, ok := c.mem.Read(addr, size)
-	for i := len(c.mainStores) - 1; i >= 0; i-- {
-		s := c.mainStores[i]
+	for i := c.mainStores.len() - 1; i >= 0; i-- {
+		s := c.mainStores.at(i)
 		if s.Retired || s.Squashed || !s.undoMemValid {
 			continue
 		}
@@ -32,17 +32,27 @@ func (c *Core) committedRead(addr uint64, size int) (uint64, bool) {
 	return v, ok
 }
 
-// noteMainStore registers a fetched main-thread store for committedRead,
-// compacting the list when retired/squashed entries accumulate.
+// noteMainStore registers a fetched main-thread store for committedRead.
+// The queue holds exactly the live noted stores: main-thread retirement is
+// in order, so a retiring store is always the front; squashes tear down
+// youngest-first, so a squashed store is always the back. The identity
+// checks below keep a broken invariant from silently corrupting
+// committedRead with a recycled instruction — the snapshot-determinism
+// test would surface it.
 func (c *Core) noteMainStore(di *DynInst) {
-	if len(c.mainStores) > 192 {
-		kept := c.mainStores[:0]
-		for _, s := range c.mainStores {
-			if !s.Retired && !s.Squashed {
-				kept = append(kept, s)
-			}
-		}
-		c.mainStores = kept
+	c.mainStores.pushBack(di)
+}
+
+// dropRetiredStore pops the oldest noted store at its retirement.
+func (c *Core) dropRetiredStore(di *DynInst) {
+	if c.mainStores.len() > 0 && c.mainStores.front() == di {
+		c.mainStores.popFront()
 	}
-	c.mainStores = append(c.mainStores, di)
+}
+
+// dropSquashedStore pops the youngest noted store at its squash.
+func (c *Core) dropSquashedStore(di *DynInst) {
+	if c.mainStores.len() > 0 && c.mainStores.back() == di {
+		c.mainStores.popBack()
+	}
 }

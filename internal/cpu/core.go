@@ -31,10 +31,20 @@ type Core struct {
 
 	window       int // dispatched, unretired instructions (all threads)
 	helperWindow int // window entries held by helper threads
-	// mainStores are unretired main-thread stores, for committedRead.
-	mainStores []*DynInst
+	// mainStores is the queue of in-flight main-thread stores with a
+	// recorded memory effect, for committedRead: pushed at fetch, popped
+	// at retire (front) and squash (back).
+	mainStores instRing
 	seq        uint64
 	now        uint64
+
+	// Zero-alloc cycle-loop machinery (see pool.go and sched.go).
+	pool       []*DynInst  // DynInst free list
+	ready      []*DynInst  // seq-ordered dispatched instructions awaiting issue
+	storeWoken []*DynInst  // wakeups deferred to the end of issueStage
+	doneList   []*DynInst  // completeStage working set
+	statSegs   []staticSeg // per-program Sim.ByPC cache
+	ectx       execCtx     // scratch isa.State for fetchOne
 
 	mainHalted bool
 
@@ -91,8 +101,14 @@ func New(cfg Config, image *asm.Image, memory *mem.Memory, entry uint64, sliceTa
 		}
 	}
 	for i := 0; i < cfg.ThreadContexts; i++ {
-		c.threads = append(c.threads, newThread(i, 64))
+		fqCap, robCap := cfg.HelperFetchQCap, cfg.HelperWindowCap
+		if i == 0 {
+			fqCap, robCap = cfg.FetchQueueCap, cfg.WindowSize
+		}
+		c.threads = append(c.threads, newThread(i, 64, fqCap, robCap))
 	}
+	c.mainStores = newInstRing(64)
+	c.initStatCache()
 	c.main = c.threads[0]
 	c.main.IsMain = true
 	c.main.Alive = true
@@ -142,6 +158,9 @@ func (c *Core) Now() uint64 { return c.now }
 // to forget when a counter struct grows.
 func (c *Core) ResetStats() {
 	c.registry.Reset()
+	// The reset replaced the Sim.Static map; drop the cached pointers
+	// into the old one.
+	c.invalidateStatCache()
 }
 
 // Snapshot deep-copies every registered counter struct into one
@@ -184,9 +203,12 @@ func (c *Core) emit(e stats.Event) {
 	}
 }
 
-// Done reports whether the main thread has halted and drained.
+// Done reports whether the main thread has halted and drained, including
+// the write buffer: retired stores still draining into the hierarchy would
+// otherwise leave final cache stats dependent on where the run stopped.
 func (c *Core) Done() bool {
-	return c.mainHalted && len(c.main.rob) == 0 && len(c.main.fetchq) == 0
+	return c.mainHalted && c.main.rob.len() == 0 && c.main.fetchq.len() == 0 &&
+		c.hier.WriteBufLen() == 0
 }
 
 // Run simulates until the main thread has retired maxMainRetired more
@@ -199,6 +221,10 @@ func (c *Core) Run(maxMainRetired uint64) *stats.Sim {
 			break
 		}
 		if c.now-start >= c.Cfg.MaxCycles {
+			// A truncated region is not a completed one; count the hit so
+			// harness rows and slicesim can surface it instead of silently
+			// reporting a partial simulation.
+			c.S.CycleGuardHits++
 			break
 		}
 		c.now++
@@ -221,7 +247,7 @@ func (c *Core) dispatchStage() {
 		if !t.Alive {
 			continue
 		}
-		for len(t.fetchq) > 0 {
+		for t.fetchq.len() > 0 {
 			if t.IsMain || !c.Cfg.DedicatedSliceResources {
 				// Helpers share the window unless dedicated (§6.3).
 				if c.window >= c.Cfg.WindowSize {
@@ -231,19 +257,25 @@ func (c *Core) dispatchStage() {
 			if !t.IsMain && c.helperWindow >= c.Cfg.HelperWindowCap {
 				break // helpers may not starve the main thread of window space
 			}
-			di := t.fetchq[0]
+			di := t.fetchq.front()
 			if di.FetchCycle+c.Cfg.FrontLatency > c.now {
 				break
 			}
-			t.fetchq = t.fetchq[1:]
+			t.fetchq.popFront()
 			di.Dispatched = true
 			di.DispatchCycle = c.now
-			t.rob = append(t.rob, di)
+			t.rob.pushBack(di)
 			if t.IsMain || !c.Cfg.DedicatedSliceResources {
 				c.window++
 			}
 			if !t.IsMain {
 				c.helperWindow++
+			}
+			// Issue runs before dispatch in the cycle loop, so an
+			// instruction entering here ready is visible next cycle —
+			// exactly when the old per-cycle scan would first see it.
+			if di.waitCount == 0 {
+				c.readyInsert(di)
 			}
 		}
 	}

@@ -65,8 +65,17 @@ type DynInst struct {
 	deps  [3]*DynInst
 	ndeps int
 	// olderStores are unissued same-thread stores the load must wait for
-	// (conservative "real" disambiguation).
+	// (conservative "real" disambiguation), recorded at fetch.
 	olderStores []*DynInst
+
+	// Incremental-scheduler state. waitCount is the number of outstanding
+	// wakeups (register producers + undisambiguated older stores); waiters
+	// are the younger instructions subscribed to this one's completion (or,
+	// for stores, issue); inReady marks membership in the core's ready
+	// list.
+	waitCount int
+	waiters   []*DynInst
+	inReady   bool
 
 	// Timing.
 	FetchCycle    uint64

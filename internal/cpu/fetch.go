@@ -34,7 +34,7 @@ func (c *Core) fetchDedicatedHelper(already *Thread) {
 	var best *Thread
 	for _, t := range c.threads {
 		if t.IsMain || t == already || !t.Alive || !t.Fetching ||
-			t.icStallUntil > c.now || len(t.fetchq) >= c.fetchQCap(t) {
+			t.icStallUntil > c.now || t.fetchq.len() >= c.fetchQCap(t) {
 			continue
 		}
 		if c.helperPGIStalled(t) {
@@ -51,7 +51,7 @@ func (c *Core) fetchDedicatedHelper(already *Thread) {
 
 func (c *Core) fetchFrom(t *Thread) {
 	for n := 0; n < c.Cfg.FetchWidth; n++ {
-		if !t.Fetching || len(t.fetchq) >= c.fetchQCap(t) {
+		if !t.Fetching || t.fetchq.len() >= c.fetchQCap(t) {
 			return
 		}
 		if t.icStallUntil > c.now {
@@ -122,7 +122,7 @@ func (c *Core) chooseFetchThread() *Thread {
 	var best *Thread
 	bestScore := 0.0
 	for _, t := range c.threads {
-		if !t.Alive || !t.Fetching || t.icStallUntil > c.now || len(t.fetchq) >= c.fetchQCap(t) {
+		if !t.Alive || !t.Fetching || t.icStallUntil > c.now || t.fetchq.len() >= c.fetchQCap(t) {
 			continue
 		}
 		if !t.IsMain && c.helperPGIStalled(t) {
@@ -142,7 +142,8 @@ func (c *Core) chooseFetchThread() *Thread {
 
 // fetchOne fetches, functionally executes, and predicts one instruction.
 func (c *Core) fetchOne(t *Thread, in *isa.Inst, pc uint64) {
-	di := &DynInst{Thread: t, Static: in, PC: pc, Seq: c.seq, FetchCycle: c.now}
+	di := c.allocInst()
+	di.Thread, di.Static, di.PC, di.Seq, di.FetchCycle = t, in, pc, c.seq, c.now
 	c.seq++
 
 	if t.IsMain {
@@ -174,24 +175,35 @@ func (c *Core) fetchOne(t *Thread, in *isa.Inst, pc uint64) {
 		c.S.HelperStores++
 		di.Out = isa.Outcome{}
 	} else {
-		di.Out = isa.Execute(in, pc, execCtx{c, t, di})
+		c.ectx = execCtx{c, t, di}
+		di.Out = isa.Execute(in, pc, &c.ectx)
 	}
 
-	// Register dependences and writer bookkeeping.
-	for _, src := range in.Sources() {
+	// Register dependences and writer bookkeeping. Producers are
+	// subscribed to (sched.go) rather than polled: they wake this
+	// instruction at completion.
+	var srcs [3]isa.Reg
+	for _, src := range srcs[:in.SourcesInto(&srcs)] {
 		if w := t.lastWriter[src]; w != nil && !w.Completed {
-			di.deps[di.ndeps] = w
-			di.ndeps++
+			c.addDep(di, w)
 		}
 	}
 	if dest, ok := in.Dest(); ok {
 		di.prevWriter = t.lastWriter[dest]
 		t.lastWriter[dest] = di
 	}
-	if in.IsStore() && t.IsMain {
-		t.pendingStores = append(t.pendingStores, di)
-		if di.undoMemValid {
-			c.noteMainStore(di)
+	if t.IsMain {
+		if in.IsStore() {
+			t.pendingStores = append(t.pendingStores, di)
+			if di.undoMemValid {
+				c.noteMainStore(di)
+			}
+		} else if in.IsLoad() {
+			// Real disambiguation: subscribe to every older in-flight
+			// store; each wakes the load when its address generates.
+			for _, s := range t.pendingStores {
+				c.addStoreDep(di, s)
+			}
 		}
 	}
 
@@ -216,7 +228,7 @@ func (c *Core) fetchOne(t *Thread, in *isa.Inst, pc uint64) {
 	di.LoopAfter = t.LoopCount
 
 	t.PC = nextPC
-	t.fetchq = append(t.fetchq, di)
+	t.fetchq.pushBack(di)
 }
 
 // sliceHooksAtFetch services the slice table CAMs for a main-thread fetch:

@@ -113,40 +113,54 @@ func TestFuzzDifferential(t *testing.T) {
 		n = 10
 	}
 	for seed := 0; seed < n; seed++ {
-		rng := rand.New(rand.NewSource(int64(seed)))
-		im, entry, init := genProgram(rng)
+		runDifferentialSeed(t, int64(seed), seed%3 == 1)
+	}
+}
 
-		m1 := mem.New()
-		init(m1)
-		cfg := Config4Wide()
-		if seed%3 == 1 {
-			cfg = Config8Wide()
-		}
-		core := MustNew(cfg, im, m1, entry, nil)
-		core.Run(1 << 40)
-		if !core.Done() {
-			t.Fatalf("seed %d: did not halt", seed)
-		}
+// FuzzDifferential is the native-fuzzing entry for the differential
+// fuzzer: the corpus is the program-generator seed plus the machine
+// choice, so `go test -fuzz` explores programs beyond the fixed seeds.
+func FuzzDifferential(f *testing.F) {
+	for seed := int64(0); seed < 6; seed++ {
+		f.Add(seed, seed%3 == 1)
+	}
+	f.Fuzz(func(t *testing.T, seed int64, wide bool) { runDifferentialSeed(t, seed, wide) })
+}
 
-		m2 := mem.New()
-		init(m2)
-		ref, err := RunFunctional(im, m2, entry, 1<<40)
-		if err != nil {
-			t.Fatalf("seed %d: %v", seed, err)
+func runDifferentialSeed(t testing.TB, seed int64, wide bool) {
+	rng := rand.New(rand.NewSource(seed))
+	im, entry, init := genProgram(rng)
+
+	m1 := mem.New()
+	init(m1)
+	cfg := Config4Wide()
+	if wide {
+		cfg = Config8Wide()
+	}
+	core := MustNew(cfg, im, m1, entry, nil)
+	core.Run(1 << 40)
+	if !core.Done() {
+		t.Fatalf("seed %d: did not halt", seed)
+	}
+
+	m2 := mem.New()
+	init(m2)
+	ref, err := RunFunctional(im, m2, entry, 1<<40)
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	if core.S.MainRetired != ref.Retired {
+		t.Fatalf("seed %d: retired %d vs %d", seed, core.S.MainRetired, ref.Retired)
+	}
+	for r := 1; r < isa.NumRegs; r++ {
+		if core.Main().Regs[r] != ref.Regs[r] {
+			t.Fatalf("seed %d: r%d = %#x vs %#x", seed, r, core.Main().Regs[r], ref.Regs[r])
 		}
-		if core.S.MainRetired != ref.Retired {
-			t.Fatalf("seed %d: retired %d vs %d", seed, core.S.MainRetired, ref.Retired)
-		}
-		for r := 1; r < isa.NumRegs; r++ {
-			if core.Main().Regs[r] != ref.Regs[r] {
-				t.Fatalf("seed %d: r%d = %#x vs %#x", seed, r, core.Main().Regs[r], ref.Regs[r])
-			}
-		}
-		// Memory must agree too: compare the arena.
-		for a := uint64(0x40000); a < 0x40000+1024*8; a += 8 {
-			if m1.ReadU64(a) != m2.ReadU64(a) {
-				t.Fatalf("seed %d: mem[%#x] = %#x vs %#x", seed, a, m1.ReadU64(a), m2.ReadU64(a))
-			}
+	}
+	// Memory must agree too: compare the arena.
+	for a := uint64(0x40000); a < 0x40000+1024*8; a += 8 {
+		if m1.ReadU64(a) != m2.ReadU64(a) {
+			t.Fatalf("seed %d: mem[%#x] = %#x vs %#x", seed, a, m1.ReadU64(a), m2.ReadU64(a))
 		}
 	}
 }

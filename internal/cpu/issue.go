@@ -1,8 +1,6 @@
 package cpu
 
 import (
-	"sort"
-
 	"repro/internal/bpred"
 	"repro/internal/cache"
 	"repro/internal/isa"
@@ -14,61 +12,52 @@ import (
 // (Table 1). Scheduling happens in the cycle an instruction executes,
 // which — as the paper notes — is equivalent to a perfect load hit/miss
 // predictor: dependents of a missing load are simply not scheduled early.
+//
+// The ready list is maintained incrementally (sched.go): it holds exactly
+// the dispatched, unissued instructions whose producers have completed and
+// whose older stores have issued, already in seq order — the same set the
+// old per-cycle window scan collected and sorted.
 func (c *Core) issueStage() {
-	var cand []*DynInst
-	for _, t := range c.threads {
-		if !t.Alive {
-			continue
-		}
-		for _, di := range t.rob {
-			if di.Dispatched && !di.Issued && !di.Squashed && c.ready(di) {
-				cand = append(cand, di)
-			}
-		}
-	}
-	sort.Slice(cand, func(i, j int) bool { return cand[i].Seq < cand[j].Seq })
-
 	issued, memUsed, cplxUsed := 0, 0, 0
-	for _, di := range cand {
+	kept := c.ready[:0]
+	for i, n := 0, len(c.ready); i < n; i++ {
+		di := c.ready[i]
 		if issued == c.Cfg.IssueWidth {
-			break
+			kept = append(kept, di)
+			continue
 		}
 		switch {
 		case di.Static.IsMem():
 			if memUsed == c.Cfg.LdStPorts {
+				kept = append(kept, di)
 				continue
 			}
 			memUsed++
 		case di.Static.IsComplex():
 			if cplxUsed == c.Cfg.ComplexUnits {
+				kept = append(kept, di)
 				continue
 			}
 			cplxUsed++
 		}
+		di.inReady = false
 		c.issue(di)
 		issued++
 	}
-}
+	for i := len(kept); i < len(c.ready); i++ {
+		c.ready[i] = nil
+	}
+	c.ready = kept
 
-// ready reports whether all of di's producers have completed and, for
-// loads, whether older stores are disambiguated.
-func (c *Core) ready(di *DynInst) bool {
-	for i := 0; i < di.ndeps; i++ {
-		d := di.deps[i]
-		if !d.Completed || d.CompleteCycle > c.now {
-			return false
+	// Loads whose last blocking store issued this cycle become ready for
+	// the *next* cycle, as under the old scan.
+	for i, w := range c.storeWoken {
+		c.storeWoken[i] = nil
+		if !w.Squashed {
+			c.readyInsert(w)
 		}
 	}
-	if di.Static.IsLoad() && di.Thread.IsMain {
-		// Real disambiguation: every older store's address must be known
-		// (i.e., the store must have issued).
-		for _, s := range di.Thread.pendingStores {
-			if s.Seq < di.Seq && !s.Squashed && !s.Issued {
-				return false
-			}
-		}
-	}
-	return true
+	c.storeWoken = c.storeWoken[:0]
 }
 
 // issue starts execution and computes the completion time.
@@ -84,6 +73,7 @@ func (c *Core) issue(di *DynInst) {
 		// Address generation; data heads to memory at retire.
 		di.CompleteCycle = c.now + 1
 		c.unpend(di)
+		c.wakeStoreWaiters(di)
 	case in.IsComplex():
 		lat := c.Cfg.MulLatency
 		if in.Op == isa.DIV {
@@ -95,12 +85,16 @@ func (c *Core) issue(di *DynInst) {
 	}
 }
 
-// unpend removes an issued store from the disambiguation list.
+// unpend removes an issued store from the disambiguation list, in place:
+// the old three-index append forced a fresh backing array per store.
 func (c *Core) unpend(di *DynInst) {
 	ps := di.Thread.pendingStores
 	for i, s := range ps {
 		if s == di {
-			di.Thread.pendingStores = append(ps[:i:i], ps[i+1:]...)
+			last := len(ps) - 1
+			copy(ps[i:], ps[i+1:])
+			ps[last] = nil
+			di.Thread.pendingStores = ps[:last]
 			return
 		}
 	}
@@ -148,7 +142,9 @@ func (c *Core) loadLatency(di *DynInst) uint64 {
 // the load, if any.
 func (c *Core) forwardingStore(di *DynInst) *DynInst {
 	var best *DynInst
-	for _, s := range di.Thread.rob {
+	rob := &di.Thread.rob
+	for i, n := 0, rob.len(); i < n; i++ {
+		s := rob.at(i)
 		if s.Seq >= di.Seq {
 			break
 		}
@@ -172,24 +168,28 @@ func overlaps(a uint64, an int, b uint64, bn int) bool {
 // branch resolution (with squash and redirect), PGI value routing to the
 // correlator, and late-prediction early resolution (§5.3).
 func (c *Core) completeStage() {
-	var done []*DynInst
+	// Per-thread ROBs are already seq-ordered, so the merged completion
+	// list builds by near-append insertion into a reused scratch slice —
+	// no per-cycle sort closure.
+	done := c.doneList[:0]
 	for _, t := range c.threads {
 		if !t.Alive {
 			continue
 		}
-		for _, di := range t.rob {
+		for i, n := 0, t.rob.len(); i < n; i++ {
+			di := t.rob.at(i)
 			if di.Issued && !di.Completed && !di.Squashed && di.CompleteCycle <= c.now {
-				done = append(done, di)
+				done = insertBySeq(done, di)
 			}
 		}
 	}
-	sort.Slice(done, func(i, j int) bool { return done[i].Seq < done[j].Seq })
 
 	for _, di := range done {
 		if di.Squashed {
 			continue // an older completion this cycle squashed it
 		}
 		di.Completed = true
+		c.wakeWaiters(di)
 		if di.Static.IsCtrl() {
 			c.resolveCtrl(di)
 		}
@@ -197,6 +197,10 @@ func (c *Core) completeStage() {
 			c.fillPGI(di)
 		}
 	}
+	for i := range done {
+		done[i] = nil
+	}
+	c.doneList = done[:0]
 }
 
 // resolveCtrl handles branch resolution at execute.

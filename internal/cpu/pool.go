@@ -1,0 +1,108 @@
+package cpu
+
+// DynInst pooling: the per-core free list, the scrub-on-allocate contract,
+// and the release hooks called at retire and squash. The invariant that
+// makes recycling safe is that *every* pointer into an instruction is
+// severed before it reaches the pool:
+//
+//   - scheduler subscriptions (deps, olderStores, waiters, the ready
+//     list) are drained at wakeup or deregistered at squash;
+//   - the register-writer chain (lastWriter / prevWriter) is unlinked at
+//     retire, and restored through undo() at squash;
+//   - the correlator's Consumer handle is cleared at retire
+//     (DropConsumer) or squash (UndoUse);
+//   - the committed-store queue pops the instruction the moment it
+//     retires or squashes;
+//   - forked helper threads drop their ForkInst back-reference.
+//
+// Scrubbing happens at *allocation*, not release: same-cycle consumers
+// (the pendingStores compaction after a squash, the completion list's
+// Squashed check) may still read a released instruction's flags, and those
+// reads stay valid until the slot is reused by a later fetch — which is
+// always in a later pipeline stage of the same cycle or a later cycle.
+// DESIGN.md ("Zero-allocation cycle loop") documents the full contract;
+// the snapshot-determinism test is the guard that a stale field can never
+// change simulated outcomes.
+
+// allocInst returns a scrubbed instruction, recycling the free list.
+func (c *Core) allocInst() *DynInst {
+	if n := len(c.pool); n > 0 {
+		d := c.pool[n-1]
+		c.pool[n-1] = nil
+		c.pool = c.pool[:n-1]
+		d.scrub()
+		return d
+	}
+	return &DynInst{}
+}
+
+// scrub resets a recycled instruction to its zero state while keeping the
+// KillRecs/Forked/waiters/olderStores backing arrays for reuse. The full
+// capacity of each slice is nil'd so the pool does not pin correlator
+// records or threads beyond the instruction's lifetime.
+func (d *DynInst) scrub() {
+	kr := d.KillRecs[:cap(d.KillRecs)]
+	for i := range kr {
+		kr[i] = nil
+	}
+	fk := d.Forked[:cap(d.Forked)]
+	for i := range fk {
+		fk[i] = nil
+	}
+	wt := d.waiters[:cap(d.waiters)]
+	for i := range wt {
+		wt[i] = nil
+	}
+	os := d.olderStores[:cap(d.olderStores)]
+	for i := range os {
+		os[i] = nil
+	}
+	*d = DynInst{KillRecs: kr[:0], Forked: fk[:0], waiters: wt[:0], olderStores: os[:0]}
+}
+
+// releaseRetired returns a retired instruction to the pool, first severing
+// the pointers that could otherwise resurrect it.
+func (c *Core) releaseRetired(d *DynInst) {
+	t := d.Thread
+	if dest, ok := d.Static.Dest(); ok {
+		if t.lastWriter[dest] == d {
+			// A retired writer is Completed, which fetch's dependence scan
+			// treats exactly like "no in-flight producer".
+			t.lastWriter[dest] = nil
+		} else {
+			// A younger in-flight writer checkpointed this instruction as
+			// its prevWriter; restoring a Completed writer on its squash
+			// would be equivalent to nil, so unlink it.
+			for w := t.lastWriter[dest]; w != nil; w = w.prevWriter {
+				if w.prevWriter == d {
+					w.prevWriter = nil
+					break
+				}
+			}
+		}
+	}
+	if c.corr != nil && d.UsedPred != nil {
+		c.corr.DropConsumer(d.UsedPred, d)
+	}
+	c.dropForkRefs(d)
+	c.pool = append(c.pool, d)
+}
+
+// releaseSquashed returns a squashed instruction to the pool. Scheduler
+// deregistration already happened in squashInst, undo() restored the
+// writer chain, and UndoUse cleared any correlator consumer handle.
+func (c *Core) releaseSquashed(d *DynInst) {
+	c.dropForkRefs(d)
+	c.pool = append(c.pool, d)
+}
+
+// dropForkRefs clears the back-reference a forked helper context keeps to
+// its fork point. The identity check matters: a drained context may have
+// been re-forked by a different instruction while this one was in flight.
+func (c *Core) dropForkRefs(d *DynInst) {
+	for _, h := range d.Forked {
+		if h.ForkInst == d {
+			h.ForkInst = nil
+		}
+	}
+}

@@ -16,19 +16,21 @@ func (c *Core) retireStage() {
 		if !t.Alive {
 			continue
 		}
-		for retired < c.Cfg.CommitWidth && len(t.rob) > 0 {
-			di := t.rob[0]
+		for retired < c.Cfg.CommitWidth && t.rob.len() > 0 {
+			di := t.rob.front()
 			if !di.Completed || di.CompleteCycle > c.now {
 				break
 			}
 			if t.IsMain && di.Static.IsStore() && !di.Out.Fault {
 				if !c.hier.StoreRetire(di.Out.Addr, c.now) {
 					c.S.RetireStalls++
-					c.emit(stats.Event{Kind: stats.EvRetireStall, PC: di.PC, Addr: di.Out.Addr})
+					if c.tracer != nil {
+						c.emit(stats.Event{Kind: stats.EvRetireStall, PC: di.PC, Addr: di.Out.Addr})
+					}
 					break // write buffer full; retry next cycle
 				}
 			}
-			t.rob = t.rob[1:]
+			t.rob.popFront()
 			c.retireInst(di)
 			retired++
 		}
@@ -52,13 +54,14 @@ func (c *Core) retireInst(di *DynInst) {
 
 	if !t.IsMain {
 		c.S.HelperRetired++
+		c.releaseRetired(di)
 		return
 	}
 
 	c.S.MainRetired++
 	in := di.Static
 	pc := di.PC
-	st := c.S.ByPC(pc)
+	st := c.staticFor(pc)
 	st.Execs++
 
 	switch {
@@ -132,4 +135,9 @@ func (c *Core) retireInst(di *DynInst) {
 			c.corr.CommitKill(rec)
 		}
 	}
+
+	if di.undoMemValid {
+		c.dropRetiredStore(di)
+	}
+	c.releaseRetired(di)
 }

@@ -11,34 +11,31 @@ func (c *Core) squashAfter(di *DynInst) {
 
 	squashed := uint64(0)
 	// The fetch queue holds the youngest instructions.
-	for i := len(t.fetchq) - 1; i >= 0; i-- {
-		if t.fetchq[i].Seq <= di.Seq {
-			break
-		}
-		c.squashInst(t.fetchq[i])
-		t.fetchq = t.fetchq[:i]
+	for t.fetchq.len() > 0 && t.fetchq.back().Seq > di.Seq {
+		c.squashInst(t.fetchq.popBack())
 		squashed++
 	}
-	for i := len(t.rob) - 1; i >= 0; i-- {
-		if t.rob[i].Seq <= di.Seq {
-			break
-		}
-		c.squashInst(t.rob[i])
-		t.rob = t.rob[:i]
+	for t.rob.len() > 0 && t.rob.back().Seq > di.Seq {
+		c.squashInst(t.rob.popBack())
 		squashed++
 	}
-	if squashed > 0 {
+	if squashed > 0 && c.tracer != nil {
 		c.emit(stats.Event{Kind: stats.EvSquash, PC: di.PC, N: squashed})
 	}
 
-	// Drop squashed stores from the disambiguation list.
-	ps := t.pendingStores[:0]
-	for _, s := range t.pendingStores {
+	// Drop squashed stores from the disambiguation list (their Squashed
+	// flags stay readable until the pool reuses them — see pool.go).
+	ps := t.pendingStores
+	kept := ps[:0]
+	for _, s := range ps {
 		if !s.Squashed {
-			ps = append(ps, s)
+			kept = append(kept, s)
 		}
 	}
-	t.pendingStores = ps
+	for i := len(kept); i < len(ps); i++ {
+		ps[i] = nil
+	}
+	t.pendingStores = kept
 
 	// Restore speculative front-end state to just after di.
 	t.Hist = di.HistAfter
@@ -59,6 +56,9 @@ func (c *Core) squashInst(x *DynInst) {
 		return
 	}
 	x.Squashed = true
+	// Capture before undo() clears the record: a noted store must leave
+	// the committed-store queue.
+	notedStore := x.Thread.IsMain && x.undoMemValid
 	x.undo(c)
 
 	if c.corr != nil {
@@ -86,6 +86,11 @@ func (c *Core) squashInst(x *DynInst) {
 	if x.Thread.IsMain {
 		c.S.MainWrongPath++
 	}
+	c.deregister(x)
+	if notedStore {
+		c.dropSquashedStore(x)
+	}
+	c.releaseSquashed(x)
 }
 
 // squashHelper kills a helper thread whose fork point was squashed: all of
@@ -99,17 +104,15 @@ func (c *Core) squashHelper(h *Thread) {
 	if h.Slice != nil {
 		c.emit(stats.Event{Kind: stats.EvForkSquash, Slice: h.Slice.Index})
 	}
-	for i := len(h.fetchq) - 1; i >= 0; i-- {
-		c.squashInst(h.fetchq[i])
+	for h.fetchq.len() > 0 {
+		c.squashInst(h.fetchq.popBack())
 	}
-	for i := len(h.rob) - 1; i >= 0; i-- {
-		c.squashInst(h.rob[i])
+	for h.rob.len() > 0 {
+		c.squashInst(h.rob.popBack())
 	}
 	if c.corr != nil {
 		c.corr.RemoveInstance(h.Instance)
 	}
-	h.fetchq = h.fetchq[:0]
-	h.rob = h.rob[:0]
 	h.Alive = false
 	h.Fetching = false
 }

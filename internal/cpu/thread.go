@@ -27,8 +27,8 @@ type Thread struct {
 	Path uint64
 	RAS  *bpred.RAS
 
-	fetchq     []*DynInst
-	rob        []*DynInst
+	fetchq     instRing
+	rob        instRing
 	lastWriter [isa.NumRegs]*DynInst
 	// pendingStores are fetched-but-unissued stores (address unknown) for
 	// load disambiguation.
@@ -52,19 +52,24 @@ type Thread struct {
 	// re-fires).
 }
 
-func newThread(id int, rasEntries int) *Thread {
-	return &Thread{ID: id, RAS: bpred.NewRAS(rasEntries)}
+func newThread(id int, rasEntries, fetchqCap, robCap int) *Thread {
+	return &Thread{
+		ID:     id,
+		RAS:    bpred.NewRAS(rasEntries),
+		fetchq: newInstRing(fetchqCap),
+		rob:    newInstRing(robCap),
+	}
 }
 
 // inflight returns the thread's in-flight instruction count (ICOUNT).
-func (t *Thread) inflight() int { return len(t.fetchq) + len(t.rob) }
+func (t *Thread) inflight() int { return t.fetchq.len() + t.rob.len() }
 
 // reset clears the context for reuse as a helper.
 func (t *Thread) reset() {
 	t.Regs = [isa.NumRegs]uint64{}
 	t.Hist, t.Path = 0, 0
-	t.fetchq = t.fetchq[:0]
-	t.rob = t.rob[:0]
+	t.fetchq.clear()
+	t.rob.clear()
 	t.lastWriter = [isa.NumRegs]*DynInst{}
 	t.pendingStores = t.pendingStores[:0]
 	t.waitResolve = nil
@@ -76,21 +81,23 @@ func (t *Thread) reset() {
 }
 
 // execCtx adapts a (core, thread, dyninst) triple to isa.State, recording
-// undo information on the instruction as side effects happen.
+// undo information on the instruction as side effects happen. The core owns
+// one scratch instance (Core.ectx): passing its pointer to isa.Execute
+// avoids boxing a fresh struct into the interface per fetched instruction.
 type execCtx struct {
 	c  *Core
 	t  *Thread
 	di *DynInst
 }
 
-func (e execCtx) Reg(r isa.Reg) uint64 {
+func (e *execCtx) Reg(r isa.Reg) uint64 {
 	if r == isa.Zero {
 		return 0
 	}
 	return e.t.Regs[r]
 }
 
-func (e execCtx) SetReg(r isa.Reg, v uint64) {
+func (e *execCtx) SetReg(r isa.Reg, v uint64) {
 	if r == isa.Zero {
 		return
 	}
@@ -100,7 +107,7 @@ func (e execCtx) SetReg(r isa.Reg, v uint64) {
 	e.t.Regs[r] = v
 }
 
-func (e execCtx) Load(addr uint64, size int) (uint64, bool) {
+func (e *execCtx) Load(addr uint64, size int) (uint64, bool) {
 	if !e.t.IsMain {
 		// Helper threads see the *committed* memory image: a real SMT's
 		// store buffer is private to the main thread until retirement, so
@@ -111,7 +118,7 @@ func (e execCtx) Load(addr uint64, size int) (uint64, bool) {
 	return e.c.mem.Read(addr, size)
 }
 
-func (e execCtx) Store(addr uint64, size int, v uint64) bool {
+func (e *execCtx) Store(addr uint64, size int, v uint64) bool {
 	old, _ := e.c.mem.Read(addr, size)
 	e.di.undoMemValid = true
 	e.di.undoMemAddr = addr

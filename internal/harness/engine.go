@@ -2,6 +2,7 @@ package harness
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 	"sync"
 	"time"
@@ -159,6 +160,13 @@ func (e *Engine) Run(spec RunSpec) (*RunResult, error) {
 	start := time.Now()
 	core := runOnce(w, spec.Cfg, spec.WithSlices, spec.Warm, spec.Run)
 	res := &RunResult{Snap: core.Snapshot(), Wall: time.Since(start)}
+	if n := res.Snap.Sim.CycleGuardHits; n > 0 {
+		// A truncated region silently skews every table row derived from
+		// it; make the truncation visible.
+		fmt.Fprintf(os.Stderr,
+			"harness: WARNING: %s (%s, slices=%t) hit the MaxCycles guard — results cover a truncated region\n",
+			spec.Workload, spec.Cfg.Name, spec.WithSlices)
+	}
 	en.res = res
 	close(en.done)
 

@@ -260,6 +260,12 @@ func (in *Inst) Dest() (Reg, bool) {
 // its own destination, stores read their data register).
 func (in *Inst) Sources() []Reg {
 	var s [3]Reg
+	return s[:in.SourcesInto(&s)]
+}
+
+// SourcesInto is Sources into a caller-provided buffer, so per-fetch
+// dependence scanning does not force the register array onto the heap.
+func (in *Inst) SourcesInto(s *[3]Reg) int {
 	n := 0
 	add := func(r Reg) {
 		if r == Zero {
@@ -295,7 +301,7 @@ func (in *Inst) Sources() []Reg {
 	case in.IsIndirectCtrl():
 		add(in.Ra)
 	}
-	return s[:n]
+	return n
 }
 
 func (in *Inst) String() string { return in.Disasm(0) }

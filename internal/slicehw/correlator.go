@@ -341,6 +341,17 @@ func (c *Correlator) UndoUse(p *Pred) {
 	c.emit(stats.Event{Kind: stats.EvUndoBind, PC: p.BranchPC, Slice: p.inst.Slice.Index, Inst: int(p.inst.ID)})
 }
 
+// DropConsumer clears the CPU's handle once the consuming branch has
+// retired: the branch resolved on the committed path, so a late fill can
+// no longer redirect it, and the CPU is free to recycle the handle. The
+// identity check keeps a stale call from clearing a newer binding.
+func (c *Correlator) DropConsumer(p *Pred, consumer any) {
+	if p == nil || p.Consumer != consumer {
+		return
+	}
+	p.Consumer = nil
+}
+
 // RedirectUse updates the used direction after an early resolution flipped
 // the consumer's fetch direction.
 func (c *Correlator) RedirectUse(p *Pred, dir bool) {

@@ -50,6 +50,7 @@ type Sim struct {
 	IndirectJumps  uint64
 	IndirectMisses uint64
 	RetireStalls   uint64 // cycles retire was blocked by the write buffer
+	CycleGuardHits uint64 // times Run's MaxCycles guard truncated a region
 
 	// Helper threads.
 	HelperFetched uint64
