@@ -18,8 +18,15 @@
 // -v prints one line per simulation plus a final hit/miss summary.
 //
 // -json runs every experiment and emits one machine-readable document
-// (schema specslice-experiments/1) containing all tables and figures,
+// (schema specslice-experiments/2) containing all tables and figures,
 // for bench trajectories and plotting scripts.
+//
+// -checkpoint-dir persists warm-up checkpoints across invocations: the
+// first run simulates each distinct warm prefix once and stores a machine
+// snapshot; later runs (any experiment, any measurement-only config
+// change) restore it instead of re-simulating. -warm=functional replaces
+// detailed warm-up simulation with a fast functional fast-forward that
+// touch-warms caches and predictors (approximate; see DESIGN.md).
 package main
 
 import (
@@ -33,6 +40,16 @@ import (
 	"repro/internal/workloads"
 )
 
+// printSummary reports the engine's memo and warm-checkpoint counters.
+func printSummary(e *harness.Engine) {
+	st := e.Stats()
+	fmt.Fprintf(os.Stderr, "engine: %d simulations, %d memo hits, %d insts simulated, %s sim time\n",
+		st.Misses, st.Hits, st.SimInsts, st.SimWall.Round(time.Millisecond))
+	ck := st.Checkpoints
+	fmt.Fprintf(os.Stderr, "warm:   %d hits, %d misses, %d restores, disk %d loads / %d stores (%d bytes)\n",
+		ck.WarmHits, ck.WarmMisses, ck.Restores, ck.DiskLoads, ck.DiskStores, ck.DiskBytes)
+}
+
 func main() {
 	var (
 		exp     = flag.String("exp", "all", "table1|table2|figure1|table3|figure11|table4|all")
@@ -41,8 +58,16 @@ func main() {
 		jobs    = flag.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		verbose = flag.Bool("v", false, "log every simulation and the memo summary")
 		asJSON  = flag.Bool("json", false, "emit all tables/figures as one JSON document (ignores -exp)")
+		ckDir   = flag.String("checkpoint-dir", "", "persist warm-up checkpoints in this directory (created if missing)")
+		warmFlg = flag.String("warm", "detailed", "warm-up mode: detailed|functional")
 	)
 	flag.Parse()
+
+	warmMode, err := harness.ParseWarmMode(*warmFlg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	ws := workloads.All()
 	if *only != "" {
@@ -55,6 +80,7 @@ func main() {
 	}
 
 	e := harness.NewEngine(harness.Params{Scale: *scale}, *jobs)
+	e.Ckpt = harness.NewCheckpointer(*ckDir, warmMode)
 	if *verbose {
 		e.Progress = func(ev harness.Event) {
 			mode := "base"
@@ -65,8 +91,8 @@ func main() {
 				fmt.Fprintf(os.Stderr, "memo  %-8s %-6s %s\n", ev.Spec.Workload, mode, ev.Spec.Cfg.Name)
 				return
 			}
-			fmt.Fprintf(os.Stderr, "run   %-8s %-6s %-6s %9d insts  %s\n",
-				ev.Spec.Workload, mode, ev.Spec.Cfg.Name, ev.Insts, ev.Wall.Round(time.Millisecond))
+			fmt.Fprintf(os.Stderr, "run   %-8s %-6s %-6s %9d insts  warm=%-4s %s\n",
+				ev.Spec.Workload, mode, ev.Spec.Cfg.Name, ev.Insts, ev.Warm, ev.Wall.Round(time.Millisecond))
 		}
 	}
 
@@ -119,8 +145,6 @@ func main() {
 	}
 
 	if *verbose {
-		st := e.Stats()
-		fmt.Fprintf(os.Stderr, "engine: %d simulations, %d memo hits, %d insts simulated, %s sim time\n",
-			st.Misses, st.Hits, st.SimInsts, st.SimWall.Round(time.Millisecond))
+		printSummary(e)
 	}
 }

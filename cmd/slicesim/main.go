@@ -9,6 +9,12 @@
 //	slicesim -workload eon -slices -trace      # stream telemetry events as text
 //	slicesim -workload eon -trace -trace-format=jsonl -trace-out=events.jsonl
 //	slicesim -workload eon -trace -trace-format=chrome -trace-out=trace.json
+//
+// Warm-up runs under the warm configuration and is excluded from the
+// reported statistics. -checkpoint-dir caches the warmed machine state on
+// disk so repeated invocations skip the warm-up simulation entirely;
+// -warm=functional fast-forwards the warm-up functionally instead of
+// simulating it cycle by cycle (approximate; see DESIGN.md).
 package main
 
 import (
@@ -19,6 +25,7 @@ import (
 	"os"
 
 	"repro/internal/cpu"
+	"repro/internal/harness"
 	"repro/internal/profile"
 	"repro/internal/stats"
 	"repro/internal/workloads"
@@ -39,8 +46,16 @@ func main() {
 		top      = flag.Int("top", 0, "print the N static instructions with the most PDEs")
 		perfect  = flag.Bool("perfect", false, "perfect branch prediction and caches (limit study)")
 		asJSON   = flag.Bool("json", false, "emit the run's full counter snapshot as JSON")
+		ckDir    = flag.String("checkpoint-dir", "", "persist warm-up checkpoints in this directory (created if missing)")
+		warmFlg  = flag.String("warm", "detailed", "warm-up mode: detailed|functional")
 	)
 	flag.Parse()
+
+	warmMode, err := harness.ParseWarmMode(*warmFlg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	if *list {
 		for _, w := range workloads.All() {
@@ -79,14 +94,17 @@ func main() {
 	}
 	useSlices := *slices || *trace
 
-	var core *cpu.Core
-	if useSlices {
-		core = cpu.MustNew(cfg, w.Image, w.NewMemory(), w.Entry, w.SliceTable())
-	} else {
-		core = cpu.MustNew(cfg, w.Image, w.NewMemory(), w.Entry, nil)
+	// Warm through the checkpointer: the warm prefix runs under the warm
+	// configuration, the machine quiesces, and the measurement core is
+	// restored from the snapshot with zeroed counters. With -checkpoint-dir
+	// the snapshot persists, so re-running with different measurement-only
+	// flags (-perfect, -trace, -top) skips the warm-up simulation.
+	cp := harness.NewCheckpointer(*ckDir, warmMode)
+	core, warmSrc, err := cp.WarmedCore(w, cfg, useSlices, warm)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-	core.Run(warm)
-	core.ResetStats()
 	if *trace {
 		sink, cleanup, err := openTracer(*traceFmt, *traceOut)
 		if err != nil {
@@ -109,6 +127,7 @@ func main() {
 			"workload": w.Name,
 			"machine":  cfg.Name,
 			"slices":   useSlices,
+			"warmFrom": warmSrc,
 			"snapshot": &snap,
 		}
 		enc := json.NewEncoder(os.Stdout)
@@ -120,7 +139,7 @@ func main() {
 		return
 	}
 
-	fmt.Printf("workload   %s (%s, slices=%v)\n", w.Name, cfg.Name, useSlices)
+	fmt.Printf("workload   %s (%s, slices=%v, warm from %s)\n", w.Name, cfg.Name, useSlices, warmSrc)
 	fmt.Printf("retired    %d instructions in %d cycles (IPC %.3f)\n", s.MainRetired, s.Cycles, s.IPC())
 	fmt.Printf("branches   %d (%d mispredicted, %.2f%%)\n", s.Branches, s.Mispredicts, s.MispredictRate()*100)
 	fmt.Printf("loads      %d (%d missed, %.2f%%)\n", s.Loads, s.LoadMisses, s.LoadMissRate()*100)

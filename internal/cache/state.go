@@ -1,0 +1,172 @@
+package cache
+
+// Checkpointable state for the memory hierarchy. A warm checkpoint captures
+// the tag/LRU/dirty arrays of every cache level, the PVB, the stream
+// prefetcher's stream table, the line-origin attribution map, and the
+// memory-bus cursor. Transient machinery — in-flight fills (lineReady /
+// inflOrig), pending PVB arrivals, and the write buffer — is deliberately
+// absent: checkpoints are taken at a quiesced point where the CPU has
+// proven all of it empty (see Hierarchy.Quiesced / PruneFills).
+//
+// Every State method deep-copies out and every SetState method deep-copies
+// in: one checkpoint may be restored into many cores concurrently, so no
+// restored core may alias checkpoint-owned slices or maps.
+
+import "fmt"
+
+// LineState is one cache line's checkpointable state.
+type LineState struct {
+	Tag   uint64
+	Valid bool
+	Dirty bool
+	LRU   uint64
+}
+
+// CacheState is the checkpointable state of one cache level.
+type CacheState struct {
+	Lines []LineState
+	Clock uint64
+}
+
+// State captures the cache's tag/LRU state.
+func (c *Cache) State() CacheState {
+	s := CacheState{Lines: make([]LineState, len(c.lines)), Clock: c.clock}
+	for i, l := range c.lines {
+		s.Lines[i] = LineState{Tag: l.tag, Valid: l.valid, Dirty: l.dirty, LRU: l.lru}
+	}
+	return s
+}
+
+// SetState restores state captured from an identically configured cache.
+func (c *Cache) SetState(s CacheState) error {
+	if len(s.Lines) != len(c.lines) {
+		return fmt.Errorf("cache %s: state has %d lines, cache has %d", c.name, len(s.Lines), len(c.lines))
+	}
+	for i, l := range s.Lines {
+		c.lines[i] = line{tag: l.Tag, valid: l.Valid, dirty: l.Dirty, lru: l.LRU}
+	}
+	c.clock = s.Clock
+	return nil
+}
+
+// PVBState is the checkpointable state of the prefetch/victim buffer.
+type PVBState struct {
+	Entries []LineState
+	Clock   uint64
+}
+
+// State captures the PVB contents.
+func (b *PVB) State() PVBState {
+	s := PVBState{Entries: make([]LineState, len(b.entries)), Clock: b.clock}
+	for i, e := range b.entries {
+		s.Entries[i] = LineState{Tag: e.tag, Valid: e.valid, Dirty: e.dirty, LRU: e.lru}
+	}
+	return s
+}
+
+// SetState restores state captured from an identically sized PVB.
+func (b *PVB) SetState(s PVBState) error {
+	if len(s.Entries) != len(b.entries) {
+		return fmt.Errorf("pvb: state has %d entries, buffer has %d", len(s.Entries), len(b.entries))
+	}
+	for i, e := range s.Entries {
+		b.entries[i] = pvbEntry{tag: e.Tag, valid: e.Valid, dirty: e.Dirty, lru: e.LRU}
+	}
+	b.clock = s.Clock
+	return nil
+}
+
+// StreamState is the checkpointable state of the stream prefetcher.
+// Launched/Confirmed are observability counters with no behavioral effect
+// and are not captured.
+type StreamState struct {
+	Streams []StreamEntry
+	Clock   uint64
+}
+
+// StreamEntry is one detected stream.
+type StreamEntry struct {
+	Valid    bool
+	NextLine uint64
+	Dir      int64
+	LastUse  uint64
+}
+
+// State captures the stream table.
+func (p *StreamPrefetcher) State() StreamState {
+	s := StreamState{Streams: make([]StreamEntry, len(p.streams)), Clock: p.clock}
+	for i, st := range p.streams {
+		s.Streams[i] = StreamEntry{Valid: st.valid, NextLine: st.nextLine, Dir: st.dir, LastUse: st.lastUse}
+	}
+	return s
+}
+
+// SetState restores state captured from an identically sized prefetcher.
+func (p *StreamPrefetcher) SetState(s StreamState) error {
+	if len(s.Streams) != len(p.streams) {
+		return fmt.Errorf("stream prefetcher: state has %d streams, prefetcher has %d", len(s.Streams), len(p.streams))
+	}
+	for i, st := range s.Streams {
+		p.streams[i] = stream{valid: st.Valid, nextLine: st.NextLine, dir: st.Dir, lastUse: st.LastUse}
+	}
+	p.clock = s.Clock
+	return nil
+}
+
+// HierState is the hierarchy-level checkpointable state beyond the caches
+// themselves: non-demand line attribution and the memory-bus cursor
+// (MemFree is an absolute cycle; checkpoints preserve the cycle counter).
+type HierState struct {
+	Origin  map[uint64]Origin
+	MemFree uint64
+}
+
+// State captures hierarchy-level state. It must be called only after
+// PruneFills proved the hierarchy quiescent.
+func (h *Hierarchy) State() HierState {
+	s := HierState{Origin: make(map[uint64]Origin, len(h.origin)), MemFree: h.memFree}
+	for k, v := range h.origin {
+		s.Origin[k] = v
+	}
+	return s
+}
+
+// SetState restores hierarchy-level state.
+func (h *Hierarchy) SetState(s HierState) {
+	h.origin = make(map[uint64]Origin, len(s.Origin))
+	for k, v := range s.Origin {
+		h.origin[k] = v
+	}
+	h.memFree = s.MemFree
+}
+
+// Quiesced reports whether no background machinery is in flight at cycle
+// now: no pending PVB arrivals, an empty write buffer, and no in-flight
+// fill still due in the future.
+func (h *Hierarchy) Quiesced(now uint64) bool {
+	if len(h.pendingPVB) != 0 || len(h.writeBuf) != 0 {
+		return false
+	}
+	for _, ready := range h.lineReady {
+		if ready > now {
+			return false
+		}
+	}
+	return true
+}
+
+// PruneFills drops expired in-flight fill tracking. lineReady entries are
+// normally pruned lazily on the next touch of the line; a checkpoint must
+// prune them eagerly instead, because a stale entry would turn a future
+// re-miss of that line into a bogus merge. It fails if any fill is still
+// genuinely in flight.
+func (h *Hierarchy) PruneFills(now uint64) error {
+	for line, ready := range h.lineReady {
+		if ready > now {
+			return fmt.Errorf("cache: line %#x still in flight (ready %d > now %d)", line, ready, now)
+		}
+		delete(h.lineReady, line)
+		delete(h.inflOrig, line)
+	}
+	return nil
+}

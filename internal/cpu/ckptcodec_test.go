@@ -1,0 +1,108 @@
+package cpu
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+// makeCheckpoint builds a real checkpoint from a short vpr warm (with
+// slices, so the correlator state is populated too).
+func makeCheckpoint(t *testing.T) *Checkpoint {
+	t.Helper()
+	w, err := workloads.ByName("vpr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config4Wide()
+	c := MustNew(cfg.WarmConfig(), w.Image, w.NewMemory(), w.Entry, w.SliceTable())
+	c.Run(20_000)
+	ck, err := c.Checkpoint()
+	if err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	return ck
+}
+
+// TestCodecRoundTrip: encode → decode must reproduce the checkpoint
+// exactly, and re-encoding the decoded copy must be byte-identical (the
+// encoding is deterministic, which the disk cache's CRC and the CI
+// zero-miss assertion both rely on).
+func TestCodecRoundTrip(t *testing.T) {
+	ck := makeCheckpoint(t)
+	enc := ck.EncodeBinary()
+
+	dec, err := DecodeCheckpoint(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !ck.Mem.Equal(dec.Mem) {
+		t.Error("memory snapshot did not round-trip")
+	}
+	// Compare everything except Mem (mem.Snapshot holds unexported state;
+	// compared above via Equal).
+	a, b := *ck, *dec
+	a.Mem, b.Mem = nil, nil
+	if !reflect.DeepEqual(a, b) {
+		av, bv := reflect.ValueOf(a), reflect.ValueOf(b)
+		for i := 0; i < av.NumField(); i++ {
+			if !reflect.DeepEqual(av.Field(i).Interface(), bv.Field(i).Interface()) {
+				t.Errorf("field %s did not round-trip", av.Type().Field(i).Name)
+			}
+		}
+	}
+
+	reenc := dec.EncodeBinary()
+	if !bytes.Equal(enc, reenc) {
+		t.Error("re-encoding the decoded checkpoint changed the bytes")
+	}
+}
+
+// TestCodecRestoredCoreMatches: a core restored from the decoded bytes
+// must measure identically to one restored from the original checkpoint.
+func TestCodecRestoredCoreMatches(t *testing.T) {
+	w, err := workloads.ByName("vpr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := makeCheckpoint(t)
+	dec, err := DecodeCheckpoint(ck.EncodeBinary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config4Wide()
+	run := func(ck *Checkpoint) any {
+		c, err := Restore(cfg, w.Image, ck, w.SliceTable())
+		if err != nil {
+			t.Fatalf("restore: %v", err)
+		}
+		c.Run(40_000)
+		return c.Snapshot()
+	}
+	if !reflect.DeepEqual(run(ck), run(dec)) {
+		t.Error("decoded checkpoint measures differently than the original")
+	}
+}
+
+// TestCodecTruncation: every strict prefix of a valid encoding must fail
+// with an error, never panic or mis-decode. (Exhaustive over all lengths;
+// the encoding is ~100KB at this warm length, so keep the stride coarse
+// away from the ends.)
+func TestCodecTruncation(t *testing.T) {
+	enc := makeCheckpoint(t).EncodeBinary()
+	lengths := []int{0, 1, 2, 7, 8, 9, len(enc) - 1, len(enc) / 2}
+	for n := 16; n < len(enc); n += len(enc) / 257 {
+		lengths = append(lengths, n)
+	}
+	for _, n := range lengths {
+		if _, err := DecodeCheckpoint(enc[:n]); err == nil {
+			t.Errorf("decoding %d-byte prefix of %d-byte encoding succeeded", n, len(enc))
+		}
+	}
+	// Trailing garbage is also an error, not silently ignored.
+	if _, err := DecodeCheckpoint(append(append([]byte{}, enc...), 0xAB)); err == nil {
+		t.Error("decoding with trailing garbage succeeded")
+	}
+}

@@ -20,14 +20,28 @@ type Perfect struct {
 	LoadPCs     map[uint64]bool
 }
 
-// CoversBranch reports whether the branch at pc is perfected.
+// CoversBranch reports whether the branch at pc is perfected. The empty
+// fast path matters: this runs per fetched and per retired branch, and
+// most configurations perfect nothing.
 func (p *Perfect) CoversBranch(pc uint64) bool {
-	return p.AllBranches || p.BranchPCs[pc]
+	if p.AllBranches {
+		return true
+	}
+	if len(p.BranchPCs) == 0 {
+		return false
+	}
+	return p.BranchPCs[pc]
 }
 
 // CoversLoad reports whether the load at pc is perfected.
 func (p *Perfect) CoversLoad(pc uint64) bool {
-	return p.AllLoads || p.LoadPCs[pc]
+	if p.AllLoads {
+		return true
+	}
+	if len(p.LoadPCs) == 0 {
+		return false
+	}
+	return p.LoadPCs[pc]
 }
 
 // Config holds every machine parameter. Config4Wide and Config8Wide are

@@ -39,14 +39,20 @@ type Core struct {
 	now        uint64
 
 	// Zero-alloc cycle-loop machinery (see pool.go and sched.go).
-	pool       []*DynInst  // DynInst free list
-	ready      []*DynInst  // seq-ordered dispatched instructions awaiting issue
-	storeWoken []*DynInst  // wakeups deferred to the end of issueStage
-	doneList   []*DynInst  // completeStage working set
-	statSegs   []staticSeg // per-program Sim.ByPC cache
-	ectx       execCtx     // scratch isa.State for fetchOne
+	pool       []*DynInst   // DynInst free list
+	ready      []*DynInst   // seq-ordered dispatched instructions awaiting issue
+	storeWoken []*DynInst   // wakeups deferred to the end of issueStage
+	doneList   []*DynInst   // completeStage working set
+	cal        [][]calEntry // completion calendar (calendar.go)
+	statSegs   []staticSeg  // per-program Sim.ByPC cache
+	sliceSegs  []sliceSeg   // per-PC slice-table flag cache (sliceflags.go)
+	ectx       execCtx      // scratch isa.State for fetchOne
 
 	mainHalted bool
+	// draining suppresses all fetch while Quiesce empties the pipeline
+	// (squash recovery may re-enable a thread's Fetching flag mid-cycle;
+	// the drain must still not fetch).
+	draining bool
 
 	// DebugWrongOverride, when non-nil, is called at retire for every
 	// branch whose slice-provided override was wrong (debugging aid).
@@ -108,7 +114,9 @@ func New(cfg Config, image *asm.Image, memory *mem.Memory, entry uint64, sliceTa
 		c.threads = append(c.threads, newThread(i, 64, fqCap, robCap))
 	}
 	c.mainStores = newInstRing(64)
+	c.cal = make([][]calEntry, calBuckets)
 	c.initStatCache()
+	c.initSliceFlags()
 	c.main = c.threads[0]
 	c.main.IsMain = true
 	c.main.Alive = true
@@ -227,17 +235,22 @@ func (c *Core) Run(maxMainRetired uint64) *stats.Sim {
 			c.S.CycleGuardHits++
 			break
 		}
-		c.now++
-		c.S.Cycles++
-		c.retireStage()
-		c.completeStage()
-		c.issueStage()
-		c.dispatchStage()
-		c.fetchStage()
-		c.hier.Tick(c.now)
-		c.reapHelpers()
+		c.stepCycle()
 	}
 	return c.S
+}
+
+// stepCycle advances the machine one cycle through every pipeline stage.
+func (c *Core) stepCycle() {
+	c.now++
+	c.S.Cycles++
+	c.retireStage()
+	c.completeStage()
+	c.issueStage()
+	c.dispatchStage()
+	c.fetchStage()
+	c.hier.Tick(c.now)
+	c.reapHelpers()
 }
 
 // dispatchStage moves fetched instructions into the window once they have

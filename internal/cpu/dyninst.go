@@ -60,6 +60,11 @@ type DynInst struct {
 	undoMemSize  int
 	undoMemVal   uint64
 	prevWriter   *DynInst // lastWriter[dest] before this instruction
+	// nextWriter is the unique younger writer whose prevWriter is this
+	// instruction (nil if none). Maintained so retirement can unlink the
+	// writer chain in O(1); invariant: nextWriter == nil or
+	// nextWriter.prevWriter == this.
+	nextWriter *DynInst
 
 	// Register dependences: producers in flight at fetch time.
 	deps  [3]*DynInst

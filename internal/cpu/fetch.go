@@ -12,6 +12,9 @@ import (
 // instructions along the predicted path, past taken branches (Table 1).
 // Each instruction is functionally executed as it is fetched.
 func (c *Core) fetchStage() {
+	if c.draining {
+		return // Quiesce: drain in-flight work without fetching anything new
+	}
 	t := c.chooseFetchThread()
 	if t == nil {
 		if c.Cfg.DedicatedSliceResources {
@@ -73,7 +76,7 @@ func (c *Core) fetchFrom(t *Thread) {
 		// slice kill fired) terminates — later predictions would misalign
 		// the queue. A live helper stalls while the queue is full rather
 		// than dropping the prediction, for the same reason.
-		if !t.IsMain && c.sliceTable != nil && !c.Cfg.SlicePredictionsOff {
+		if !t.IsMain && c.sliceTable != nil && !c.Cfg.SlicePredictionsOff && c.sliceFlags(pc)&sfPGI != 0 {
 			if ref, isPGI := c.sliceTable.PGIAt(pc); isPGI {
 				if t.Instance.Done() {
 					t.Fetching = false
@@ -92,7 +95,7 @@ func (c *Core) fetchFrom(t *Thread) {
 // cannot allocate right now. It also retires helpers whose instance is
 // done (their slice kill fired; further predictions would misalign).
 func (c *Core) helperPGIStalled(t *Thread) bool {
-	if c.sliceTable == nil || c.Cfg.SlicePredictionsOff {
+	if c.sliceTable == nil || c.Cfg.SlicePredictionsOff || c.sliceFlags(t.PC)&sfPGI == 0 {
 		return false
 	}
 	ref, isPGI := c.sliceTable.PGIAt(t.PC)
@@ -151,7 +154,7 @@ func (c *Core) fetchOne(t *Thread, in *isa.Inst, pc uint64) {
 		c.sliceHooksAtFetch(di)
 	} else {
 		c.S.HelperFetched++
-		if c.sliceTable != nil {
+		if c.sliceTable != nil && c.sliceFlags(pc)&sfPGI != 0 {
 			if ref, ok := c.sliceTable.PGIAt(pc); ok && !c.Cfg.SlicePredictionsOff {
 				di.IsPGI = true
 				di.PGIRef = ref
@@ -190,6 +193,9 @@ func (c *Core) fetchOne(t *Thread, in *isa.Inst, pc uint64) {
 	}
 	if dest, ok := in.Dest(); ok {
 		di.prevWriter = t.lastWriter[dest]
+		if di.prevWriter != nil {
+			di.prevWriter.nextWriter = di
+		}
 		t.lastWriter[dest] = di
 	}
 	if t.IsMain {
@@ -238,17 +244,27 @@ func (c *Core) sliceHooksAtFetch(di *DynInst) {
 		return
 	}
 	pc := di.PC
-	for _, s := range c.sliceTable.ForksAt(pc) {
-		c.fork(di, s)
+	f := c.sliceFlags(pc)
+	if f == 0 {
+		return
 	}
-	for _, s := range c.sliceTable.LoopKillsAt(pc) {
-		if rec := c.corr.KillLoop(s); rec != nil {
-			di.KillRecs = append(di.KillRecs, rec)
+	if f&sfFork != 0 {
+		for _, s := range c.sliceTable.ForksAt(pc) {
+			c.fork(di, s)
 		}
 	}
-	for _, s := range c.sliceTable.SliceKillsAt(pc) {
-		if rec := c.corr.KillSlice(s); rec != nil {
-			di.KillRecs = append(di.KillRecs, rec)
+	if f&sfLoopKill != 0 {
+		for _, s := range c.sliceTable.LoopKillsAt(pc) {
+			if rec := c.corr.KillLoop(s); rec != nil {
+				di.KillRecs = append(di.KillRecs, rec)
+			}
+		}
+	}
+	if f&sfSliceKill != 0 {
+		for _, s := range c.sliceTable.SliceKillsAt(pc) {
+			if rec := c.corr.KillSlice(s); rec != nil {
+				di.KillRecs = append(di.KillRecs, rec)
+			}
 		}
 	}
 }

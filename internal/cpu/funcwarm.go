@@ -1,0 +1,100 @@
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/bpred"
+	"repro/internal/cache"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/slicehw"
+)
+
+// FunctionalWarm fast-forwards through a warm region without the detailed
+// pipeline: it interprets instructions architecturally (one per cycle) and
+// touch-warms the structures whose contents dominate measurement accuracy —
+// caches, the stream prefetcher, the branch predictors, and the RAS — with
+// the committed-path updates the detailed core would apply at retire. The
+// result is a restorable Checkpoint.
+//
+// Accuracy caveats (why this is opt-in, not the default):
+//   - Timing is 1 IPC by construction, so the cycle counter, LRU clocks,
+//     and bus cursor in the checkpoint are compressed relative to detailed
+//     warm; measurement from a functional checkpoint is *not* behavior-
+//     identical, only statistically close (see the harness IPC-tolerance
+//     test for the documented bound).
+//   - No wrong-path execution: caches miss the pollution and prefetch
+//     training that speculative fetch would have produced.
+//   - No slices run, so the correlator and fork-confidence table start the
+//     measurement cold (Restore accepts the nil states).
+func FunctionalWarm(cfg Config, image *asm.Image, memory *mem.Memory, entry uint64, maxInsts uint64, sliceTable *slicehw.Table) (*Checkpoint, error) {
+	// Build the core first: it owns the hierarchy/predictor geometry the
+	// checkpoint must match, and its Quiesce drains the write buffer and
+	// in-flight prefetches the touch-warming leaves behind.
+	c, err := New(cfg.WarmConfig(), image, memory, entry, sliceTable)
+	if err != nil {
+		return nil, err
+	}
+
+	t := c.main
+	ctx := funcCtx{regs: &t.Regs, m: memory}
+	var (
+		now     uint64
+		retired uint64
+		pc      = entry
+		halted  bool
+	)
+	for retired < maxInsts {
+		in, ok := image.At(pc)
+		if !ok {
+			return nil, fmt.Errorf("cpu: functional warm fell off the image at %#x after %d instructions", pc, retired)
+		}
+		now++
+		c.hier.FetchAccess(pc, now)
+		out := isa.Execute(in, pc, ctx)
+		retired++
+
+		switch {
+		case out.IsMem && !out.IsStore:
+			c.hier.Access(out.Addr, false, cache.KindDemand, now)
+		case out.IsMem && out.IsStore:
+			// ctx.Store already wrote memory; retire the line through the
+			// write buffer, draining time forward if it is full.
+			for !c.hier.StoreRetire(out.Addr, now) {
+				now++
+				c.hier.Tick(now)
+			}
+		}
+
+		switch {
+		case in.IsCondBranch():
+			c.yags.Update(pc, t.Hist, out.Taken)
+			t.Hist = pushHist(t.Hist, out.Taken)
+		case in.Op == isa.JMP || in.Op == isa.CALLR:
+			c.indirect.Update(pc, t.Path, out.Target)
+			t.Path = bpred.PushPath(t.Path, out.Target)
+		}
+		if in.IsCall() {
+			t.RAS.Push(pc + isa.InstBytes)
+		} else if in.IsRet() {
+			t.RAS.Pop()
+		}
+
+		c.hier.Tick(now)
+		if out.Halt {
+			halted = true
+			break
+		}
+		pc = out.NextPC(pc)
+	}
+
+	c.now = now
+	c.mainHalted = halted
+	c.S.MainRetired = retired
+	t.PC = pc
+	t.Fetching = !halted
+	// Checkpoint quiesces first, which lands the in-flight fills and
+	// prefetch arrivals the touch loop queued.
+	return c.Checkpoint()
+}

@@ -83,6 +83,7 @@ func (c *Core) issue(di *DynInst) {
 	default:
 		di.CompleteCycle = c.now + 1
 	}
+	c.calFile(di)
 }
 
 // unpend removes an issued store from the disambiguation list, in place:
@@ -168,21 +169,11 @@ func overlaps(a uint64, an int, b uint64, bn int) bool {
 // branch resolution (with squash and redirect), PGI value routing to the
 // correlator, and late-prediction early resolution (§5.3).
 func (c *Core) completeStage() {
-	// Per-thread ROBs are already seq-ordered, so the merged completion
-	// list builds by near-append insertion into a reused scratch slice —
-	// no per-cycle sort closure.
-	done := c.doneList[:0]
-	for _, t := range c.threads {
-		if !t.Alive {
-			continue
-		}
-		for i, n := 0, t.rob.len(); i < n; i++ {
-			di := t.rob.at(i)
-			if di.Issued && !di.Completed && !di.Squashed && di.CompleteCycle <= c.now {
-				done = insertBySeq(done, di)
-			}
-		}
-	}
+	// The calendar delivers exactly the instructions whose CompleteCycle
+	// arrived (issued, unsquashed), already merged into seq order by
+	// insertBySeq — the same set and order the old per-thread ROB scan
+	// collected.
+	done := c.calDrain(c.doneList[:0])
 
 	for _, di := range done {
 		if di.Squashed {

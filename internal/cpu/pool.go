@@ -1,5 +1,10 @@
 package cpu
 
+import (
+	"repro/internal/cache"
+	"repro/internal/slicehw"
+)
+
 // DynInst pooling: the per-core free list, the scrub-on-allocate contract,
 // and the release hooks called at retire and squash. The invariant that
 // makes recycling safe is that *every* pointer into an instruction is
@@ -36,10 +41,22 @@ func (c *Core) allocInst() *DynInst {
 	return &DynInst{}
 }
 
-// scrub resets a recycled instruction to its zero state while keeping the
+// scrub resets a recycled instruction while keeping the
 // KillRecs/Forked/waiters/olderStores backing arrays for reuse. The full
 // capacity of each slice is nil'd so the pool does not pin correlator
 // records or threads beyond the instruction's lifetime.
+//
+// Resetting is selective: a full-struct copy (`*d = DynInst{...}`) was the
+// hottest single line of the cycle loop, and most fields don't need it.
+// Fields fetchOne assigns unconditionally before anything can read them —
+// Thread, Static, PC, Seq, FetchCycle, Out, HistAfter, PathAfter,
+// RASAfter, LoopAfter — keep their stale values through allocation. The
+// cycle timestamps (DispatchCycle, IssueCycle, CompleteCycle) and the
+// undo-log payloads (undoReg*, undoMem* other than the valid bits) are
+// read only behind flags that are reset here or freshly written, and the
+// completion calendar additionally validates Seq, so they stay stale too.
+// Everything conditionally written in a lifetime is reset below; the
+// snapshot-determinism tests and the harness goldens guard the contract.
 func (d *DynInst) scrub() {
 	kr := d.KillRecs[:cap(d.KillRecs)]
 	for i := range kr {
@@ -57,7 +74,21 @@ func (d *DynInst) scrub() {
 	for i := range os {
 		os[i] = nil
 	}
-	*d = DynInst{KillRecs: kr[:0], Forked: fk[:0], waiters: wt[:0], olderStores: os[:0]}
+	d.KillRecs, d.Forked, d.waiters, d.olderStores = kr[:0], fk[:0], wt[:0], os[:0]
+
+	d.PredTaken, d.PredTarget = false, 0
+	d.NoTargetPred, d.Mispredicted = false, false
+	d.HistBefore, d.PathBefore = 0, 0
+	d.UsedPred, d.UsedOverride = nil, false
+	d.AllocPred, d.IsPGI = nil, false
+	d.PGIRef = slicehw.PGIRef{}
+	d.undoRegValid, d.undoMemValid = false, false
+	d.prevWriter, d.nextWriter = nil, nil
+	d.deps = [3]*DynInst{}
+	d.ndeps, d.waitCount, d.inReady = 0, 0, false
+	d.Dispatched, d.Issued, d.Completed, d.Squashed, d.Retired = false, false, false, false, false
+	d.PerfectLoad, d.forwarded = false, false
+	d.MemResult = cache.Result{}
 }
 
 // releaseRetired returns a retired instruction to the pool, first severing
@@ -69,17 +100,13 @@ func (c *Core) releaseRetired(d *DynInst) {
 			// A retired writer is Completed, which fetch's dependence scan
 			// treats exactly like "no in-flight producer".
 			t.lastWriter[dest] = nil
-		} else {
-			// A younger in-flight writer checkpointed this instruction as
+		} else if w := d.nextWriter; w != nil && w.prevWriter == d {
+			// The younger in-flight writer checkpointed this instruction as
 			// its prevWriter; restoring a Completed writer on its squash
 			// would be equivalent to nil, so unlink it.
-			for w := t.lastWriter[dest]; w != nil; w = w.prevWriter {
-				if w.prevWriter == d {
-					w.prevWriter = nil
-					break
-				}
-			}
+			w.prevWriter = nil
 		}
+		d.nextWriter = nil
 	}
 	if c.corr != nil && d.UsedPred != nil {
 		c.corr.DropConsumer(d.UsedPred, d)

@@ -1,0 +1,63 @@
+package cpu
+
+import "repro/internal/isa"
+
+// Per-PC slice-table flag cache. The slice table is immutable once built,
+// but fetch consulted up to three of its maps per fetched instruction
+// (forks, loop kills, slice kills — plus the PGI table for helpers), and
+// those hash lookups showed up hot. One byte per image PC answers "does
+// anything fire here" with a range check and an array index; the maps are
+// consulted only on the rare PCs that actually carry slice hardware.
+
+const (
+	sfFork      = 1 << iota // a slice forks at this PC
+	sfLoopKill              // a loop-iteration kill fires here
+	sfSliceKill             // a slice kill fires here
+	sfPGI                   // this slice-code PC generates a prediction
+)
+
+type sliceSeg struct {
+	base, end uint64
+	flags     []uint8
+}
+
+func (c *Core) initSliceFlags() {
+	if c.sliceTable == nil {
+		return
+	}
+	for _, p := range c.image.Programs() {
+		n := int((p.End() - p.Base) / isa.InstBytes)
+		seg := sliceSeg{base: p.Base, end: p.End(), flags: make([]uint8, n)}
+		for i := 0; i < n; i++ {
+			pc := p.Base + uint64(i)*isa.InstBytes
+			var f uint8
+			if len(c.sliceTable.ForksAt(pc)) > 0 {
+				f |= sfFork
+			}
+			if len(c.sliceTable.LoopKillsAt(pc)) > 0 {
+				f |= sfLoopKill
+			}
+			if len(c.sliceTable.SliceKillsAt(pc)) > 0 {
+				f |= sfSliceKill
+			}
+			if _, ok := c.sliceTable.PGIAt(pc); ok {
+				f |= sfPGI
+			}
+			seg.flags[i] = f
+		}
+		c.sliceSegs = append(c.sliceSegs, seg)
+	}
+}
+
+// sliceFlags returns the flag byte for pc, 0 when nothing fires there.
+// Off-image PCs return 0, which matches the table maps (they only ever
+// contain image PCs).
+func (c *Core) sliceFlags(pc uint64) uint8 {
+	for i := range c.sliceSegs {
+		s := &c.sliceSegs[i]
+		if pc >= s.base && pc < s.end {
+			return s.flags[(pc-s.base)/isa.InstBytes]
+		}
+	}
+	return 0
+}

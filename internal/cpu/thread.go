@@ -140,5 +140,9 @@ func (d *DynInst) undo(c *Core) {
 	}
 	if dest, ok := d.Static.Dest(); ok && d.Thread.lastWriter[dest] == d {
 		d.Thread.lastWriter[dest] = d.prevWriter
+		if d.prevWriter != nil {
+			// d leaves the chain; its predecessor has no successor now.
+			d.prevWriter.nextWriter = nil
+		}
 	}
 }

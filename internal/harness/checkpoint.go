@@ -1,0 +1,337 @@
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/cpu"
+	"repro/internal/slicehw"
+	"repro/internal/workloads"
+)
+
+// This file implements shared warm prefixes: every measurement region is
+// preceded by a warm region whose simulation depends only on the workload,
+// the slice mode, the warm length, and the warm-relevant configuration
+// fields (cpu.Config.WarmConfig documents the split). The Checkpointer
+// simulates each distinct warm prefix once, captures the machine at a
+// quiesced point (cpu.Checkpoint), and restores it into every measurement
+// that shares the prefix — across configs, across engine fan-out, and (with
+// Dir set) across process invocations via an on-disk store.
+
+// WarmMode selects how warm regions are simulated.
+type WarmMode string
+
+const (
+	// WarmDetailed runs the warm region on the detailed out-of-order core.
+	// Restoring a detailed checkpoint and measuring is behavior-identical
+	// to warming and measuring straight through.
+	WarmDetailed WarmMode = "detailed"
+	// WarmFunctional fast-forwards the warm region with the functional
+	// interpreter plus cache/predictor touch-warming (cpu.FunctionalWarm).
+	// Much faster, but only statistically close to detailed warm — see
+	// DESIGN.md for the documented tolerance.
+	WarmFunctional WarmMode = "functional"
+)
+
+// ParseWarmMode parses a -warm flag value.
+func ParseWarmMode(s string) (WarmMode, error) {
+	switch WarmMode(s) {
+	case "", WarmDetailed:
+		return WarmDetailed, nil
+	case WarmFunctional:
+		return WarmFunctional, nil
+	}
+	return "", fmt.Errorf("unknown warm mode %q (want %q or %q)", s, WarmDetailed, WarmFunctional)
+}
+
+// WarmKeyFor is the identity of one shareable warm prefix. Configurations
+// that differ only in measurement-only fields map to the same key and
+// share one checkpoint.
+func WarmKeyFor(workload string, withSlices bool, warm uint64, mode WarmMode, cfg cpu.Config) string {
+	return fmt.Sprintf("%s|slices=%t|warm=%d|mode=%s|%s",
+		workload, withSlices, warm, mode, cfg.WarmFingerprint())
+}
+
+// WarmSource says where a warm checkpoint came from.
+type WarmSource string
+
+const (
+	WarmFromMemo WarmSource = "memo" // in-memory cache hit
+	WarmFromDisk WarmSource = "disk" // loaded from the on-disk store
+	WarmFromSim  WarmSource = "sim"  // simulated this call
+)
+
+// CheckpointStats aggregates warm-checkpoint observability counters.
+type CheckpointStats struct {
+	// WarmHits counts warm requests served without simulating (from the
+	// in-memory cache or the on-disk store); WarmMisses counts warm regions
+	// actually simulated.
+	WarmHits, WarmMisses uint64
+	// Restores counts cores rebuilt from a checkpoint.
+	Restores uint64
+	// DiskLoads/DiskStores count on-disk store reads/writes that succeeded;
+	// DiskBytes is the total bytes moved in either direction.
+	DiskLoads, DiskStores uint64
+	DiskBytes             uint64
+}
+
+// Checkpointer is a two-level warm-checkpoint cache: an in-memory map for
+// an engine's fan-out (and anything else in-process — it is safe for
+// concurrent use and shareable between engines), plus an optional on-disk
+// store so repeated process invocations skip warm-up entirely. The zero
+// value is not usable; call NewCheckpointer.
+type Checkpointer struct {
+	// Dir, when non-empty, enables the on-disk store. Corrupt or stale
+	// entries are ignored with a warning and rebuilt.
+	Dir string
+	// Mode selects detailed (default, behavior-identical) or functional
+	// (fast, approximate) warm-up.
+	Mode WarmMode
+
+	mu      sync.Mutex
+	entries map[string]*ckptEntry
+	st      CheckpointStats
+}
+
+type ckptEntry struct {
+	done chan struct{} // closed when ck/err are valid
+	ck   *cpu.Checkpoint
+	err  error
+}
+
+// NewCheckpointer builds a checkpointer. dir == "" disables the disk
+// store; mode == "" means WarmDetailed.
+func NewCheckpointer(dir string, mode WarmMode) *Checkpointer {
+	if mode == "" {
+		mode = WarmDetailed
+	}
+	return &Checkpointer{Dir: dir, Mode: mode, entries: make(map[string]*ckptEntry)}
+}
+
+// Stats returns a snapshot of the observability counters.
+func (cp *Checkpointer) Stats() CheckpointStats {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return cp.st
+}
+
+// Warm returns the checkpoint for one warm prefix, simulating it only if
+// neither cache level has it. Safe for concurrent use; concurrent requests
+// for the same key simulate once (the same done-channel discipline as the
+// engine memo — see Engine.Run for why waiters cannot starve creators).
+func (cp *Checkpointer) Warm(w *workloads.Workload, cfg cpu.Config, withSlices bool, warm uint64) (*cpu.Checkpoint, WarmSource, error) {
+	key := WarmKeyFor(w.Name, withSlices, warm, cp.Mode, cfg)
+	cp.mu.Lock()
+	if en, ok := cp.entries[key]; ok {
+		cp.st.WarmHits++
+		cp.mu.Unlock()
+		<-en.done
+		return en.ck, WarmFromMemo, en.err
+	}
+	en := &ckptEntry{done: make(chan struct{})}
+	cp.entries[key] = en
+	cp.mu.Unlock()
+
+	src := WarmFromSim
+	if ck, n := cp.diskLoad(key); ck != nil {
+		en.ck = ck
+		src = WarmFromDisk
+		cp.mu.Lock()
+		cp.st.WarmHits++
+		cp.st.DiskLoads++
+		cp.st.DiskBytes += uint64(n)
+		cp.mu.Unlock()
+	} else {
+		en.ck, en.err = cp.build(w, cfg, withSlices, warm)
+		cp.mu.Lock()
+		cp.st.WarmMisses++
+		cp.mu.Unlock()
+		if en.err == nil {
+			if n := cp.diskStore(key, en.ck); n > 0 {
+				cp.mu.Lock()
+				cp.st.DiskStores++
+				cp.st.DiskBytes += uint64(n)
+				cp.mu.Unlock()
+			}
+		}
+	}
+	close(en.done)
+	return en.ck, src, en.err
+}
+
+// WarmedCore returns a fresh core restored to the end of the warm prefix,
+// ready to measure under cfg. Every call restores its own core; one
+// checkpoint serves any number of concurrent WarmedCore calls.
+func (cp *Checkpointer) WarmedCore(w *workloads.Workload, cfg cpu.Config, withSlices bool, warm uint64) (*cpu.Core, WarmSource, error) {
+	ck, src, err := cp.Warm(w, cfg, withSlices, warm)
+	if err != nil {
+		return nil, src, err
+	}
+	var table *slicehw.Table
+	if withSlices {
+		table = w.SliceTable()
+	}
+	core, err := cpu.Restore(cfg, w.Image, ck, table)
+	if err != nil {
+		return nil, src, err
+	}
+	cp.mu.Lock()
+	cp.st.Restores++
+	cp.mu.Unlock()
+	return core, src, nil
+}
+
+// build simulates one warm prefix and checkpoints the quiesced machine.
+func (cp *Checkpointer) build(w *workloads.Workload, cfg cpu.Config, withSlices bool, warm uint64) (*cpu.Checkpoint, error) {
+	if cp.Mode == WarmFunctional {
+		// The functional path models no slices; the restored measurement
+		// core starts with a cold correlator (Restore accepts the nil
+		// states), which is part of the documented accuracy gap.
+		return cpu.FunctionalWarm(cfg, w.Image, w.NewMemory(), w.Entry, warm, nil)
+	}
+	var table *slicehw.Table
+	if withSlices {
+		table = w.SliceTable()
+	}
+	core, err := cpu.New(cfg.WarmConfig(), w.Image, w.NewMemory(), w.Entry, table)
+	if err != nil {
+		return nil, err
+	}
+	core.Run(warm)
+	return core.Checkpoint()
+}
+
+// --- on-disk store ---
+//
+// File layout (little-endian):
+//
+//	magic   [8]byte  "SPECSLCK"
+//	version u32      ckptSchemaVersion
+//	keyLen  u32
+//	key     [keyLen]byte   the WarmKey, stored to reject hash collisions
+//	                       and stale files whose key semantics changed
+//	crc     u32      IEEE CRC32 of payload
+//	payLen  u64
+//	payload [payLen]byte   cpu.Checkpoint.EncodeBinary
+//
+// Loads verify magic, version, key, and CRC before decoding; any mismatch
+// (bit rot, a checkpoint from an older schema, a colliding file name)
+// produces one warning and falls back to simulating the warm region.
+
+const ckptMagic = "SPECSLCK"
+
+// ckptSchemaVersion versions the container *and* the payload encoding.
+// Bump it whenever cpu.Checkpoint or its binary codec changes shape, so
+// stale caches from older builds are rebuilt instead of misdecoded.
+const ckptSchemaVersion = 1
+
+func ckptPath(dir, key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(dir, hex.EncodeToString(sum[:16])+".ckpt")
+}
+
+func warnf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "harness: WARNING: "+format+"\n", args...)
+}
+
+// diskLoad returns the stored checkpoint for key, or nil (with a warning
+// for anything other than a simple absence). n is the file size on success.
+func (cp *Checkpointer) diskLoad(key string) (ck *cpu.Checkpoint, n int) {
+	if cp.Dir == "" {
+		return nil, 0
+	}
+	path := ckptPath(cp.Dir, key)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			warnf("checkpoint store: %v", err)
+		}
+		return nil, 0
+	}
+	payload, err := parseCkptFile(b, key)
+	if err != nil {
+		warnf("ignoring checkpoint %s: %v", filepath.Base(path), err)
+		return nil, 0
+	}
+	ck, err = cpu.DecodeCheckpoint(payload)
+	if err != nil {
+		warnf("ignoring checkpoint %s: %v", filepath.Base(path), err)
+		return nil, 0
+	}
+	return ck, len(b)
+}
+
+func parseCkptFile(b []byte, key string) ([]byte, error) {
+	if len(b) < len(ckptMagic)+8 {
+		return nil, fmt.Errorf("truncated header")
+	}
+	if string(b[:len(ckptMagic)]) != ckptMagic {
+		return nil, fmt.Errorf("bad magic")
+	}
+	b = b[len(ckptMagic):]
+	if v := binary.LittleEndian.Uint32(b); v != ckptSchemaVersion {
+		return nil, fmt.Errorf("schema version %d, want %d (stale cache)", v, ckptSchemaVersion)
+	}
+	keyLen := binary.LittleEndian.Uint32(b[4:])
+	b = b[8:]
+	if uint64(keyLen) > uint64(len(b)) {
+		return nil, fmt.Errorf("truncated key")
+	}
+	if string(b[:keyLen]) != key {
+		return nil, fmt.Errorf("key mismatch (stale or colliding entry)")
+	}
+	b = b[keyLen:]
+	if len(b) < 12 {
+		return nil, fmt.Errorf("truncated payload header")
+	}
+	crc := binary.LittleEndian.Uint32(b)
+	payLen := binary.LittleEndian.Uint64(b[4:])
+	b = b[12:]
+	if payLen != uint64(len(b)) {
+		return nil, fmt.Errorf("payload length %d, have %d bytes", payLen, len(b))
+	}
+	if got := crc32.ChecksumIEEE(b); got != crc {
+		return nil, fmt.Errorf("payload CRC mismatch (corrupt entry)")
+	}
+	return b, nil
+}
+
+// diskStore writes the checkpoint for key; best-effort (a failure warns and
+// the run proceeds). Returns bytes written, 0 if disabled or failed.
+func (cp *Checkpointer) diskStore(key string, ck *cpu.Checkpoint) int {
+	if cp.Dir == "" {
+		return 0
+	}
+	if err := os.MkdirAll(cp.Dir, 0o755); err != nil {
+		warnf("checkpoint store: %v", err)
+		return 0
+	}
+	payload := ck.EncodeBinary()
+	b := make([]byte, 0, len(ckptMagic)+8+len(key)+12+len(payload))
+	b = append(b, ckptMagic...)
+	b = binary.LittleEndian.AppendUint32(b, ckptSchemaVersion)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(key)))
+	b = append(b, key...)
+	b = binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(payload))
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(payload)))
+	b = append(b, payload...)
+
+	path := ckptPath(cp.Dir, key)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		warnf("checkpoint store: %v", err)
+		return 0
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		warnf("checkpoint store: %v", err)
+		return 0
+	}
+	return len(b)
+}

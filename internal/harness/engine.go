@@ -59,8 +59,13 @@ type Event struct {
 	Spec     RunSpec
 	Memoized bool
 	Wall     time.Duration
-	// Insts is warm+run instructions simulated (zero for memo hits).
+	// Insts is instructions simulated (zero for memo hits): the measured
+	// region, plus the warm region when this run simulated it (Warm ==
+	// WarmFromSim).
 	Insts uint64
+	// Warm says where the run's warm checkpoint came from (empty for memo
+	// hits, which simulate nothing at all).
+	Warm WarmSource
 }
 
 // EngineStats aggregates run-level observability counters.
@@ -68,11 +73,15 @@ type EngineStats struct {
 	// Hits counts requests served from the memo cache; Misses counts
 	// simulations actually executed. Hits+Misses = requests.
 	Hits, Misses uint64
-	// SimInsts is total instructions simulated (warm+run) across misses.
+	// SimInsts is total instructions simulated (measurement regions, plus
+	// warm regions that were not served from the checkpoint cache).
 	SimInsts uint64
 	// SimWall is cumulative simulation time across misses — CPU-seconds
 	// of simulation, which exceeds elapsed wall time when Jobs > 1.
 	SimWall time.Duration
+	// Checkpoints is the warm-checkpoint cache's view of the same runs:
+	// shared warm prefixes, restores, and on-disk store traffic.
+	Checkpoints CheckpointStats
 }
 
 // Engine runs experiment simulations with memoization and a bounded
@@ -85,6 +94,11 @@ type Engine struct {
 	// Progress, when non-nil, receives one Event per request. Calls are
 	// serialized by the engine, in completion order.
 	Progress func(Event)
+	// Ckpt supplies warm checkpoints. NewEngine installs a private
+	// in-memory checkpointer; callers may replace it (before the first
+	// Run) with a shared or disk-backed one so warm prefixes survive
+	// across engines or process invocations.
+	Ckpt *Checkpointer
 
 	mu   sync.Mutex // guards memo and the counters
 	memo map[string]*memoEntry
@@ -101,7 +115,12 @@ type memoEntry struct {
 
 // NewEngine builds an engine. jobs ≤ 0 selects GOMAXPROCS workers.
 func NewEngine(p Params, jobs int) *Engine {
-	return &Engine{Params: p, Jobs: jobs, memo: make(map[string]*memoEntry)}
+	return &Engine{
+		Params: p,
+		Jobs:   jobs,
+		Ckpt:   NewCheckpointer("", WarmDetailed),
+		memo:   make(map[string]*memoEntry),
+	}
 }
 
 func (e *Engine) jobs() int {
@@ -113,9 +132,12 @@ func (e *Engine) jobs() int {
 
 // Stats returns a snapshot of the observability counters.
 func (e *Engine) Stats() EngineStats {
+	ck := e.Ckpt.Stats()
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.st
+	st := e.st
+	st.Checkpoints = ck
+	return st
 }
 
 func (e *Engine) emit(ev Event) {
@@ -158,7 +180,12 @@ func (e *Engine) Run(spec RunSpec) (*RunResult, error) {
 		return nil, err
 	}
 	start := time.Now()
-	core := runOnce(w, spec.Cfg, spec.WithSlices, spec.Warm, spec.Run)
+	core, warmSrc, err := runOnce(e.Ckpt, w, spec.Cfg, spec.WithSlices, spec.Warm, spec.Run)
+	if err != nil {
+		en.res = nil
+		close(en.done)
+		return nil, err
+	}
 	res := &RunResult{Snap: core.Snapshot(), Wall: time.Since(start)}
 	if n := res.Snap.Sim.CycleGuardHits; n > 0 {
 		// A truncated region silently skews every table row derived from
@@ -170,12 +197,15 @@ func (e *Engine) Run(spec RunSpec) (*RunResult, error) {
 	en.res = res
 	close(en.done)
 
-	insts := spec.Warm + spec.Run
+	insts := spec.Run
+	if warmSrc == WarmFromSim {
+		insts += spec.Warm
+	}
 	e.mu.Lock()
 	e.st.SimInsts += insts
 	e.st.SimWall += res.Wall
 	e.mu.Unlock()
-	e.emit(Event{Spec: spec, Wall: res.Wall, Insts: insts})
+	e.emit(Event{Spec: spec, Wall: res.Wall, Insts: insts, Warm: warmSrc})
 	return res, nil
 }
 

@@ -5,7 +5,11 @@ import "repro/internal/workloads"
 // ExportSchema versions the machine-readable experiment document. Bump it
 // whenever a field changes meaning or shape, so downstream consumers
 // (bench trajectories, plotting scripts) can dispatch on it.
-const ExportSchema = "specslice-experiments/1"
+//
+// v2: engine block gained warm-checkpoint observability (warmHits,
+// warmMisses, restores, diskLoads, diskStores, diskBytes), and simInsts
+// stopped double-counting warm regions served from the checkpoint cache.
+const ExportSchema = "specslice-experiments/2"
 
 // Export is the whole evaluation — every table and figure of the paper —
 // as one machine-readable document, the JSON counterpart of the formatted
@@ -30,6 +34,14 @@ type ExportEngine struct {
 	MemoHits    uint64 `json:"memoHits"`
 	SimInsts    uint64 `json:"simInsts"`
 	SimWallMS   int64  `json:"simWallMs"`
+
+	// Warm-checkpoint cache observability (schema v2).
+	WarmHits   uint64 `json:"warmHits"`
+	WarmMisses uint64 `json:"warmMisses"`
+	Restores   uint64 `json:"restores"`
+	DiskLoads  uint64 `json:"diskLoads"`
+	DiskStores uint64 `json:"diskStores"`
+	DiskBytes  uint64 `json:"diskBytes"`
 }
 
 // Export runs every experiment for ws on the engine and assembles the
@@ -56,6 +68,12 @@ func (e *Engine) Export(ws []*workloads.Workload) Export {
 		MemoHits:    st.Hits,
 		SimInsts:    st.SimInsts,
 		SimWallMS:   st.SimWall.Milliseconds(),
+		WarmHits:    st.Checkpoints.WarmHits,
+		WarmMisses:  st.Checkpoints.WarmMisses,
+		Restores:    st.Checkpoints.Restores,
+		DiskLoads:   st.Checkpoints.DiskLoads,
+		DiskStores:  st.Checkpoints.DiskStores,
+		DiskBytes:   st.Checkpoints.DiskBytes,
 	}
 	return doc
 }

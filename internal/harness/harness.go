@@ -6,6 +6,8 @@
 package harness
 
 import (
+	"sync/atomic"
+
 	"repro/internal/cpu"
 	"repro/internal/workloads"
 )
@@ -17,6 +19,20 @@ type Params struct {
 	Scale float64
 }
 
+// Region floors: below these lengths the caches and predictors never leave
+// their cold transient, so every derived table row would be noise.
+const (
+	minWarmRegion = 10_000
+	minRunRegion  = 20_000
+)
+
+// regionClampWarned dedups the clamp warning (one per process, like the
+// MaxCycles truncation warning); regionClampWarnf is swappable for tests.
+var (
+	regionClampWarned atomic.Bool
+	regionClampWarnf  = warnf
+)
+
 func (p Params) regions(w *workloads.Workload) (warm, run uint64) {
 	s := p.Scale
 	if s <= 0 {
@@ -24,31 +40,39 @@ func (p Params) regions(w *workloads.Workload) (warm, run uint64) {
 	}
 	warm = uint64(float64(w.SuggestedWarmup) * s)
 	run = uint64(float64(w.SuggestedRun) * s)
-	if warm < 10_000 {
-		warm = 10_000
+	if warm < minWarmRegion || run < minRunRegion {
+		// A silently enforced floor would make results look like they came
+		// from the requested scale when they did not; say so once.
+		if regionClampWarned.CompareAndSwap(false, true) {
+			regionClampWarnf(
+				"scale %g shrinks %s regions below the %d/%d floors — floors apply, results cover larger regions than requested",
+				s, w.Name, minWarmRegion, minRunRegion)
+		}
 	}
-	if run < 20_000 {
-		run = 20_000
+	if warm < minWarmRegion {
+		warm = minWarmRegion
+	}
+	if run < minRunRegion {
+		run = minRunRegion
 	}
 	return
 }
 
-// runOnce runs one workload region under cfg, with or without its slices,
-// and returns the core; callers take its Snapshot for every counter. Each
-// call builds a fresh core and memory, so concurrent calls over shared
-// read-only workload images are independent; the engine relies on this to
+// runOnce produces one measured simulation: the warm prefix comes from the
+// checkpointer (simulated at most once per shareable prefix), the
+// measurement region runs on a core restored from it. Restoring a
+// detailed-warm checkpoint is behavior-identical to warming straight
+// through at a quiesced boundary, so cache hits and misses yield equal
+// snapshots. Each call restores a private core over copy-on-write memory,
+// so concurrent calls are independent; the engine relies on this to
 // parallelize.
-func runOnce(w *workloads.Workload, cfg cpu.Config, withSlices bool, warm, run uint64) *cpu.Core {
-	var core *cpu.Core
-	if withSlices {
-		core = cpu.MustNew(cfg, w.Image, w.NewMemory(), w.Entry, w.SliceTable())
-	} else {
-		core = cpu.MustNew(cfg, w.Image, w.NewMemory(), w.Entry, nil)
+func runOnce(cp *Checkpointer, w *workloads.Workload, cfg cpu.Config, withSlices bool, warm, run uint64) (*cpu.Core, WarmSource, error) {
+	core, src, err := cp.WarmedCore(w, cfg, withSlices, warm)
+	if err != nil {
+		return nil, src, err
 	}
-	core.Run(warm)
-	core.ResetStats()
 	core.Run(run)
-	return core
+	return core, src, nil
 }
 
 // --- Table 2 ---
