@@ -31,12 +31,14 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/oracle"
 	"repro/internal/workloads"
 )
 
@@ -52,16 +54,43 @@ func printSummary(e *harness.Engine) {
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "table1|table2|figure1|table3|figure11|table4|all")
-		scale   = flag.Float64("scale", 1.0, "region scale factor")
-		only    = flag.String("workload", "", "restrict to one workload")
-		jobs    = flag.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
-		verbose = flag.Bool("v", false, "log every simulation and the memo summary")
-		asJSON  = flag.Bool("json", false, "emit all tables/figures as one JSON document (ignores -exp)")
-		ckDir   = flag.String("checkpoint-dir", "", "persist warm-up checkpoints in this directory (created if missing)")
-		warmFlg = flag.String("warm", "detailed", "warm-up mode: detailed|functional")
+		exp      = flag.String("exp", "all", "table1|table2|figure1|table3|figure11|table4|all")
+		scale    = flag.Float64("scale", 1.0, "region scale factor")
+		only     = flag.String("workload", "", "restrict to one workload")
+		jobs     = flag.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		verbose  = flag.Bool("v", false, "log every simulation and the memo summary")
+		asJSON   = flag.Bool("json", false, "emit all tables/figures as one JSON document (ignores -exp)")
+		ckDir    = flag.String("checkpoint-dir", "", "persist warm-up checkpoints in this directory (created if missing)")
+		warmFlg  = flag.String("warm", "detailed", "warm-up mode: detailed|functional")
+		useOrc   = flag.Bool("oracle", false, "validate every run against the functional model (differential oracle)")
+		orcEvery = flag.Int64("oracle-every", 0, "oracle invariant-sweep period in cycles (0 = default, <0 disables)")
+		orcOut   = flag.String("oracle-report", "", "write oracle divergence reports (JSON) to this file on failure")
 	)
 	flag.Parse()
+
+	// The experiment drivers panic on run errors (mustRunAll); turn an
+	// oracle divergence back into a report plus a nonzero exit instead of
+	// a stack trace.
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		err, ok := r.(error)
+		var de *oracle.DivergenceError
+		if !ok || !errors.As(err, &de) {
+			panic(r)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		if *orcOut != "" {
+			if werr := os.WriteFile(*orcOut, de.WriteReport(), 0o644); werr != nil {
+				fmt.Fprintln(os.Stderr, "experiments: oracle report:", werr)
+			} else {
+				fmt.Fprintf(os.Stderr, "experiments: oracle report written to %s\n", *orcOut)
+			}
+		}
+		os.Exit(1)
+	}()
 
 	warmMode, err := harness.ParseWarmMode(*warmFlg)
 	if err != nil {
@@ -81,6 +110,7 @@ func main() {
 
 	e := harness.NewEngine(harness.Params{Scale: *scale}, *jobs)
 	e.Ckpt = harness.NewCheckpointer(*ckDir, warmMode)
+	e.Oracle = harness.OracleOptions{Enabled: *useOrc, Every: *orcEvery}
 	if *verbose {
 		e.Progress = func(ev harness.Event) {
 			mode := "base"

@@ -19,6 +19,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -26,10 +27,24 @@ import (
 
 	"repro/internal/cpu"
 	"repro/internal/harness"
+	"repro/internal/oracle"
 	"repro/internal/profile"
 	"repro/internal/stats"
 	"repro/internal/workloads"
 )
+
+// writeOracleReport dumps the divergence list as JSON for CI artifacts.
+func writeOracleReport(path string, err error) {
+	var de *oracle.DivergenceError
+	if path == "" || !errors.As(err, &de) {
+		return
+	}
+	if werr := os.WriteFile(path, de.WriteReport(), 0o644); werr != nil {
+		fmt.Fprintln(os.Stderr, "slicesim: oracle report:", werr)
+	} else {
+		fmt.Fprintf(os.Stderr, "slicesim: oracle report written to %s\n", path)
+	}
+}
 
 func main() {
 	var (
@@ -48,6 +63,9 @@ func main() {
 		asJSON   = flag.Bool("json", false, "emit the run's full counter snapshot as JSON")
 		ckDir    = flag.String("checkpoint-dir", "", "persist warm-up checkpoints in this directory (created if missing)")
 		warmFlg  = flag.String("warm", "detailed", "warm-up mode: detailed|functional")
+		useOrc   = flag.Bool("oracle", false, "validate the run against the functional model (differential oracle)")
+		orcEvery = flag.Int64("oracle-every", 0, "oracle invariant-sweep period in cycles (0 = default, <0 disables)")
+		orcOut   = flag.String("oracle-report", "", "write oracle divergence reports (JSON) to this file on failure")
 	)
 	flag.Parse()
 
@@ -100,7 +118,7 @@ func main() {
 	// the snapshot persists, so re-running with different measurement-only
 	// flags (-perfect, -trace, -top) skips the warm-up simulation.
 	cp := harness.NewCheckpointer(*ckDir, warmMode)
-	core, warmSrc, err := cp.WarmedCore(w, cfg, useSlices, warm)
+	core, ck, warmSrc, err := cp.WarmedCoreCkpt(w, cfg, useSlices, warm)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -114,11 +132,35 @@ func main() {
 		defer cleanup()
 		core.SetTracer(sink)
 	}
+	var orc *oracle.Oracle
+	if *useOrc {
+		// The oracle's functional model starts from the same warm checkpoint
+		// the measurement core restored from, so it validates the measured
+		// region regardless of how the warm-up was produced.
+		orc = oracle.FromCheckpoint(w.Image, ck, oracle.Options{
+			Workload: w.Name,
+			WarmKey:  harness.WarmKeyFor(w.Name, useSlices, warm, warmMode, cfg),
+			Every:    *orcEvery,
+		})
+		orc.Attach(core)
+	}
 	s := core.Run(region)
 	if s.CycleGuardHits > 0 {
 		fmt.Fprintf(os.Stderr,
 			"slicesim: WARNING: run hit the MaxCycles guard after %d cycles — results cover a truncated region\n",
 			s.Cycles)
+	}
+	if orc != nil {
+		if err := core.CheckInvariants(); err != nil {
+			fmt.Fprintf(os.Stderr, "slicesim: oracle: %v\n", err)
+			os.Exit(1)
+		}
+		if err := orc.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "slicesim: %v\n", err)
+			writeOracleReport(*orcOut, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "slicesim: oracle: %d retirements validated, no divergence\n", orc.Retired())
 	}
 
 	if *asJSON {

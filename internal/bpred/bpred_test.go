@@ -229,8 +229,7 @@ func TestRASSaveRestore(t *testing.T) {
 	r.Push(0x1000)
 	r.Push(0x2000)
 	cp := r.Save()
-	// Wrong-path activity: one pop, one garbage push — the common case
-	// the single-entry (sp, top) repair scheme handles exactly.
+	// Wrong-path activity: one pop, one garbage push.
 	r.Pop()
 	r.Push(0xDEAD)
 	r.Restore(cp)
@@ -242,11 +241,10 @@ func TestRASSaveRestore(t *testing.T) {
 	}
 }
 
-func TestRASRepairIsSingleEntry(t *testing.T) {
-	// Document the known limitation of (sp, top) repair, which real
-	// hardware shares: wrong-path pops below the checkpointed top that
-	// are then overwritten by wrong-path pushes stay corrupted. The CPU
-	// tolerates this as an ordinary (rare) RET misprediction.
+func TestRASRepairFullHeight(t *testing.T) {
+	// The case the old (sp, top) scheme could not repair: wrong-path pops
+	// below the checkpointed top followed by wrong-path pushes that
+	// overwrite the vacated slots. The journal restores every slot.
 	r := NewRAS(64)
 	r.Push(0x1000)
 	r.Push(0x2000)
@@ -254,12 +252,79 @@ func TestRASRepairIsSingleEntry(t *testing.T) {
 	r.Pop()
 	r.Pop()
 	r.Push(0xDEAD) // overwrites the slot that held 0x1000
+	r.Push(0xBEEF) // overwrites the slot that held 0x2000
 	r.Restore(cp)
 	if got := r.Pop(); got != 0x2000 {
-		t.Errorf("top must be repaired exactly: pop = %#x", got)
+		t.Errorf("top entry: pop = %#x, want 0x2000", got)
 	}
-	if got := r.Pop(); got == 0x1000 {
-		t.Error("second entry was expected to be corrupted; repair scheme changed — update this test and the RAS doc comment")
+	if got := r.Pop(); got != 0x1000 {
+		t.Errorf("second entry: pop = %#x, want 0x1000 (full-height repair)", got)
+	}
+}
+
+func TestRASRepairNestedCheckpoints(t *testing.T) {
+	// Restores must be repeatable against progressively older in-flight
+	// checkpoints, exactly as nested squashes replay them.
+	r := NewRAS(8)
+	r.Push(0x100)
+	cpOld := r.Save()
+	r.Push(0x200)
+	cpMid := r.Save()
+	r.Pop()
+	r.Pop()
+	r.Push(0xAAA)
+	r.Push(0xBBB)
+	r.Restore(cpMid)
+	if got := r.Save(); got.SP != cpMid.SP {
+		t.Fatalf("sp after mid restore = %d, want %d", got.SP, cpMid.SP)
+	}
+	r.Restore(cpOld)
+	if got := r.Pop(); got != 0x100 {
+		t.Errorf("after nested restores: pop = %#x, want 0x100", got)
+	}
+}
+
+func TestRASCommitTrimsJournal(t *testing.T) {
+	// In-order commits drop the dead journal prefix; later restores still
+	// repair everything younger than the newest committed checkpoint.
+	r := NewRAS(64)
+	for i := 0; i < 100; i++ {
+		r.Push(uint64(0x1000 + i*8))
+		r.Commit(r.Save()) // everything so far is committed
+	}
+	if got := len(r.jbuf) - r.jhead; got != 0 {
+		t.Fatalf("live journal after full commit = %d entries, want 0", got)
+	}
+	cp := r.Save()
+	r.Pop()
+	r.Pop()
+	r.Push(0xDEAD)
+	r.Push(0xBEEF)
+	r.Restore(cp)
+	if got := r.Pop(); got != uint64(0x1000+99*8) {
+		t.Errorf("post-commit restore: pop = %#x", got)
+	}
+	if got := r.Pop(); got != uint64(0x1000+98*8) {
+		t.Errorf("post-commit restore: pop = %#x", got)
+	}
+}
+
+func TestRASRepairAcrossOverflowWrap(t *testing.T) {
+	// Wrong-path pushes that wrap the circular stack overwrite its oldest
+	// entries; the journal must bring those back too.
+	r := NewRAS(4)
+	for i := 0; i < 4; i++ {
+		r.Push(uint64(0x100 + i*8))
+	}
+	cp := r.Save()
+	for i := 0; i < 4; i++ {
+		r.Push(0xD000 + uint64(i)) // wraps, clobbering all four live slots
+	}
+	r.Restore(cp)
+	for i := 3; i >= 0; i-- {
+		if got := r.Pop(); got != uint64(0x100+i*8) {
+			t.Fatalf("entry %d after wrap repair: pop = %#x, want %#x", i, got, 0x100+i*8)
+		}
 	}
 }
 

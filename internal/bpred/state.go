@@ -98,9 +98,12 @@ func (c *Cascaded) SetState(s CascadedState) error {
 	return nil
 }
 
-// RASStackState is the *full* stack image, unlike RASState's single-entry
-// speculation repair checkpoint: a warm checkpoint must reproduce every
-// live stack slot, because the restored run pops arbitrarily deep.
+// RASStackState is the *full* stack image, unlike RASState's (sp, journal
+// position) speculation-repair checkpoint: a warm checkpoint must
+// reproduce every live stack slot, because the restored run pops
+// arbitrarily deep. The repair journal is not captured — a checkpoint is
+// taken at a quiesced point with nothing in flight, so the journal is
+// logically empty, and SetStackState resets it.
 type RASStackState struct {
 	Stack []uint64
 	SP    int
@@ -120,5 +123,9 @@ func (r *RAS) SetStackState(s RASStackState) error {
 	}
 	copy(r.stack, s.Stack)
 	r.sp = s.SP
+	// The restored machine has nothing in flight: no checkpoint taken
+	// before this point may be restored, so the repair journal restarts
+	// empty.
+	r.CommitAll()
 	return nil
 }

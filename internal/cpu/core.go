@@ -49,6 +49,10 @@ type Core struct {
 	ectx       execCtx      // scratch isa.State for fetchOne
 
 	mainHalted bool
+	// retiring is the instruction currently inside retireInst, set across
+	// the RetireObserver call: it is popped from its ROB but not yet
+	// released, and the invariant checker exempts it from liveness checks.
+	retiring *DynInst
 	// draining suppresses all fetch while Quiesce empties the pipeline
 	// (squash recovery may re-enable a thread's Fetching flag mid-cycle;
 	// the drain must still not fetch).
@@ -64,6 +68,12 @@ type Core struct {
 	// correlator lookup, while the thread's speculative registers still
 	// hold the branch's own iteration state (debugging aid).
 	DebugLookup func(di *DynInst)
+	// RetireObserver, when non-nil, receives every main-thread instruction
+	// in retirement (program) order — the architecturally committed
+	// stream. The callee may read the instruction's fields but must not
+	// retain the pointer: the DynInst returns to the pool immediately
+	// after. The differential oracle attaches here.
+	RetireObserver func(di *DynInst)
 
 	S *stats.Sim
 
@@ -153,8 +163,19 @@ func (c *Core) Hier() *cache.Hierarchy { return c.hier }
 // Correlator exposes the prediction correlator (stats and tests).
 func (c *Core) Correlator() *slicehw.Correlator { return c.corr }
 
+// SliceTable exposes the slice table the core was built with (nil without
+// slice hardware); Restore needs the same table.
+func (c *Core) SliceTable() *slicehw.Table { return c.sliceTable }
+
 // Main exposes the main thread (tests).
 func (c *Core) Main() *Thread { return c.main }
+
+// Memory exposes the speculative memory image (the oracle's final-state
+// check; architectural only when nothing is in flight).
+func (c *Core) Memory() *mem.Memory { return c.mem }
+
+// Image exposes the code image the core executes.
+func (c *Core) Image() *asm.Image { return c.image }
 
 // Now returns the current cycle.
 func (c *Core) Now() uint64 { return c.now }
@@ -201,6 +222,10 @@ func (c *Core) SetTracer(t stats.Tracer) {
 		}
 	}
 }
+
+// Tracer returns the tracer installed by SetTracer (nil when tracing is
+// off). The oracle emits its divergence events through it.
+func (c *Core) Tracer() stats.Tracer { return c.tracer }
 
 // emit sends one core pipeline event, stamping the current cycle. A nil
 // tracer makes this a branch-predictable no-op on the hot path.

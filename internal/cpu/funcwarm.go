@@ -77,6 +77,10 @@ func FunctionalWarm(cfg Config, image *asm.Image, memory *mem.Memory, entry uint
 		}
 		if in.IsCall() {
 			t.RAS.Push(pc + isa.InstBytes)
+			// Nothing speculates during functional warm, so no checkpoint
+			// taken before this push will ever be restored; dropping the
+			// journal immediately keeps it from growing with the region.
+			t.RAS.CommitAll()
 		} else if in.IsRet() {
 			t.RAS.Pop()
 		}

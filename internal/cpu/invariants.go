@@ -1,0 +1,228 @@
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/slicehw"
+)
+
+// This file implements the core's structural invariant checker — the
+// oracle's second half. Where the lockstep diff validates the *stream*
+// the core retires, CheckInvariants validates the *bookkeeping* the
+// zero-alloc machinery maintains: pool recycling, ring-buffer occupancy
+// vs. window accounting, the O(1)-unlinked register-writer chains, the
+// committed-store queue, the incremental scheduler's ready list, and the
+// correlator's binding liveness. It runs per-N-cycles when the oracle is
+// attached (and from tests), never from the bare cycle loop, so it
+// allocates freely and favors clarity.
+
+// CheckInvariants validates the core's structural invariants and returns
+// the first violation found, or nil. It may be called between cycles or
+// from a RetireObserver (the instruction currently being retired is
+// mid-release and is exempted from liveness checks).
+func (c *Core) CheckInvariants() error {
+	// Window accounting vs. actual ring occupancy.
+	helperROB := 0
+	for _, t := range c.threads {
+		if !t.IsMain {
+			helperROB += t.rob.len()
+		}
+	}
+	wantWindow := c.main.rob.len()
+	if !c.Cfg.DedicatedSliceResources {
+		wantWindow += helperROB
+	}
+	if c.window != wantWindow {
+		return fmt.Errorf("cpu: window=%d but ROB occupancy says %d (main %d, helper %d, dedicated=%t)",
+			c.window, wantWindow, c.main.rob.len(), helperROB, c.Cfg.DedicatedSliceResources)
+	}
+	if c.helperWindow != helperROB {
+		return fmt.Errorf("cpu: helperWindow=%d but helper ROBs hold %d", c.helperWindow, helperROB)
+	}
+
+	// Pool sanity: every free-listed instruction was released through
+	// retirement or squash, and holds no scheduler membership.
+	pooled := make(map[*DynInst]bool, len(c.pool))
+	for i, d := range c.pool {
+		if d == nil {
+			return fmt.Errorf("cpu: pool slot %d is nil", i)
+		}
+		if !d.Retired && !d.Squashed {
+			return fmt.Errorf("cpu: pooled instruction seq=%d pc=%#x was never retired or squashed", d.Seq, d.PC)
+		}
+		if d.inReady {
+			return fmt.Errorf("cpu: pooled instruction seq=%d pc=%#x still marked in the ready list", d.Seq, d.PC)
+		}
+		pooled[d] = true
+	}
+
+	for _, t := range c.threads {
+		if err := c.checkThread(t, pooled); err != nil {
+			return err
+		}
+	}
+
+	// Ready list: seq-sorted, every entry dispatched, unissued, wakeup-free.
+	var prev *DynInst
+	for i, d := range c.ready {
+		switch {
+		case d == nil:
+			return fmt.Errorf("cpu: ready[%d] is nil", i)
+		case pooled[d]:
+			return fmt.Errorf("cpu: ready[%d] (seq=%d) is a pooled instruction", i, d.Seq)
+		case !d.inReady:
+			return fmt.Errorf("cpu: ready[%d] (seq=%d) not marked inReady", i, d.Seq)
+		case !d.Dispatched || d.Issued || d.Squashed || d.Retired:
+			return fmt.Errorf("cpu: ready[%d] (seq=%d) in impossible state disp=%t issued=%t squashed=%t retired=%t",
+				i, d.Seq, d.Dispatched, d.Issued, d.Squashed, d.Retired)
+		case d.waitCount != 0:
+			return fmt.Errorf("cpu: ready[%d] (seq=%d) still has %d pending wakeups", i, d.Seq, d.waitCount)
+		case prev != nil && prev.Seq >= d.Seq:
+			return fmt.Errorf("cpu: ready list out of order at %d (seq %d then %d)", i, prev.Seq, d.Seq)
+		}
+		prev = d
+	}
+
+	// Committed-store queue: in-flight main-thread stores with a recorded
+	// memory effect, in fetch order.
+	var prevStore *DynInst
+	for i := 0; i < c.mainStores.len(); i++ {
+		d := c.mainStores.at(i)
+		switch {
+		case d == nil:
+			return fmt.Errorf("cpu: mainStores[%d] is nil", i)
+		case pooled[d]:
+			return fmt.Errorf("cpu: mainStores[%d] (seq=%d) is a pooled instruction", i, d.Seq)
+		case !d.Thread.IsMain:
+			return fmt.Errorf("cpu: mainStores[%d] (seq=%d) belongs to a helper thread", i, d.Seq)
+		case !d.Static.IsStore():
+			return fmt.Errorf("cpu: mainStores[%d] (seq=%d, pc=%#x) is not a store", i, d.Seq, d.PC)
+		case !d.undoMemValid:
+			return fmt.Errorf("cpu: mainStores[%d] (seq=%d) has no recorded memory effect", i, d.Seq)
+		case d.Squashed:
+			return fmt.Errorf("cpu: mainStores[%d] (seq=%d) is squashed but still queued", i, d.Seq)
+		case d.Retired && d != c.retiring:
+			return fmt.Errorf("cpu: mainStores[%d] (seq=%d) is retired but still queued", i, d.Seq)
+		case prevStore != nil && prevStore.Seq >= d.Seq:
+			return fmt.Errorf("cpu: mainStores out of order at %d (seq %d then %d)", i, prevStore.Seq, d.Seq)
+		}
+		prevStore = d
+	}
+
+	// Correlator structure, plus binding liveness against the pool: every
+	// bound Consumer must be a live in-flight instruction that still
+	// points back at its prediction.
+	if c.corr != nil {
+		if err := c.corr.CheckInvariants(); err != nil {
+			return err
+		}
+		var corrErr error
+		c.corr.ForEachLivePred(func(p *slicehw.Pred) {
+			if corrErr != nil || p.Consumer == nil {
+				return
+			}
+			d, ok := p.Consumer.(*DynInst)
+			if !ok {
+				corrErr = fmt.Errorf("cpu: prediction for branch %#x bound to a non-instruction consumer", p.BranchPC)
+				return
+			}
+			if d == c.retiring {
+				return // mid-retirement; DropConsumer runs at release
+			}
+			if pooled[d] || d.Retired || d.Squashed {
+				corrErr = fmt.Errorf("cpu: prediction for branch %#x bound to dead instruction seq=%d (pooled=%t retired=%t squashed=%t)",
+					p.BranchPC, d.Seq, pooled[d], d.Retired, d.Squashed)
+				return
+			}
+			if d.UsedPred != p {
+				corrErr = fmt.Errorf("cpu: prediction for branch %#x bound to seq=%d which does not point back at it", p.BranchPC, d.Seq)
+			}
+		})
+		if corrErr != nil {
+			return corrErr
+		}
+	}
+	return nil
+}
+
+// checkThread validates one thread's rings and register-writer chains.
+func (c *Core) checkThread(t *Thread, pooled map[*DynInst]bool) error {
+	checkRing := func(name string, r *instRing, dispatched bool) (last *DynInst, err error) {
+		var prev *DynInst
+		for i := 0; i < r.len(); i++ {
+			d := r.at(i)
+			switch {
+			case d == nil:
+				return nil, fmt.Errorf("cpu: t%d %s[%d] is nil", t.ID, name, i)
+			case pooled[d]:
+				return nil, fmt.Errorf("cpu: t%d %s[%d] (seq=%d) is a pooled instruction", t.ID, name, i, d.Seq)
+			case d.Thread != t:
+				return nil, fmt.Errorf("cpu: t%d %s[%d] (seq=%d) belongs to thread %d", t.ID, name, i, d.Seq, d.Thread.ID)
+			case d.Retired || d.Squashed:
+				return nil, fmt.Errorf("cpu: t%d %s[%d] (seq=%d) retired=%t squashed=%t but still queued",
+					t.ID, name, i, d.Seq, d.Retired, d.Squashed)
+			case d.Dispatched != dispatched:
+				return nil, fmt.Errorf("cpu: t%d %s[%d] (seq=%d) dispatched=%t", t.ID, name, i, d.Seq, d.Dispatched)
+			case d.Issued && !d.Dispatched, d.Completed && !d.Issued:
+				return nil, fmt.Errorf("cpu: t%d %s[%d] (seq=%d) stage flags out of order (disp=%t issued=%t completed=%t)",
+					t.ID, name, i, d.Seq, d.Dispatched, d.Issued, d.Completed)
+			case prev != nil && prev.Seq >= d.Seq:
+				return nil, fmt.Errorf("cpu: t%d %s out of order at %d (seq %d then %d)", t.ID, name, i, prev.Seq, d.Seq)
+			}
+			prev = d
+		}
+		return prev, nil
+	}
+	lastROB, err := checkRing("rob", &t.rob, true)
+	if err != nil {
+		return err
+	}
+	if _, err := checkRing("fetchq", &t.fetchq, false); err != nil {
+		return err
+	}
+	if lastROB != nil && t.fetchq.len() > 0 && t.fetchq.front().Seq <= lastROB.Seq {
+		return fmt.Errorf("cpu: t%d fetchq front seq=%d not younger than ROB back seq=%d",
+			t.ID, t.fetchq.front().Seq, lastROB.Seq)
+	}
+
+	// Writer chains: walking lastWriter[r] through prevWriter must visit
+	// live same-thread writers of r in strictly decreasing fetch order,
+	// with intact nextWriter backlinks, and terminate within the thread's
+	// in-flight population (anything longer is a cycle).
+	// +1: a mid-retirement instruction is already popped from the ROB but
+	// may still head a chain until releaseRetired unlinks it.
+	inflight := t.inflight() + 1
+	for r := 0; r < isa.NumRegs; r++ {
+		steps := 0
+		for w := t.lastWriter[r]; w != nil; w = w.prevWriter {
+			if steps++; steps > inflight {
+				return fmt.Errorf("cpu: t%d writer chain for r%d exceeds %d in-flight entries (cycle after the O(1) unlink?)",
+					t.ID, r, inflight)
+			}
+			if pooled[w] {
+				return fmt.Errorf("cpu: t%d writer chain for r%d reaches pooled instruction seq=%d", t.ID, r, w.Seq)
+			}
+			if w.Thread != t {
+				return fmt.Errorf("cpu: t%d writer chain for r%d reaches thread-%d instruction seq=%d", t.ID, r, w.Thread.ID, w.Seq)
+			}
+			if (w.Retired && w != c.retiring) || w.Squashed {
+				return fmt.Errorf("cpu: t%d writer chain for r%d reaches dead instruction seq=%d (retired=%t squashed=%t)",
+					t.ID, r, w.Seq, w.Retired, w.Squashed)
+			}
+			if dest, ok := w.Static.Dest(); !ok || dest != isa.Reg(r) {
+				return fmt.Errorf("cpu: t%d writer chain for r%d reaches seq=%d which writes a different register", t.ID, r, w.Seq)
+			}
+			if p := w.prevWriter; p != nil {
+				if p.nextWriter != w {
+					return fmt.Errorf("cpu: t%d writer chain for r%d: seq=%d's prevWriter (seq=%d) does not link back",
+						t.ID, r, w.Seq, p.Seq)
+				}
+				if p.Seq >= w.Seq {
+					return fmt.Errorf("cpu: t%d writer chain for r%d not age-ordered (seq %d then %d)", t.ID, r, w.Seq, p.Seq)
+				}
+			}
+		}
+	}
+	return nil
+}

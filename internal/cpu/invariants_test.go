@@ -1,0 +1,113 @@
+package cpu
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// invariantTestCore builds a core mid-run: halted programs release all
+// their in-flight state, so the corruption tests stop the core while the
+// pipeline is still full.
+func invariantTestCore(t *testing.T) *Core {
+	t.Helper()
+	b := asm.NewBuilder(0x1000)
+	b.Li(27, 0x40000)
+	b.I(isa.LDI, 1, 0, 10000)
+	b.Label("loop")
+	b.R(isa.ADD, 2, 2, 1)
+	b.St(2, 0, 27)
+	b.Ld(3, 0, 27)
+	b.R(isa.XOR, 4, 3, 2)
+	b.I(isa.ADDI, 1, 1, -1)
+	b.B(isa.BGT, 1, "loop")
+	b.Halt()
+	p := b.MustBuild()
+	im, err := asm.NewImage(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := MustNew(Config4Wide(), im, mem.New(), p.Base, nil)
+	c.Run(500)
+	if c.Done() || c.main.rob.len() == 0 {
+		t.Fatal("test core drained; corruption checks need a live pipeline")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatalf("clean core failed invariants: %v", err)
+	}
+	return c
+}
+
+// TestCheckInvariantsDetectsCorruption mutates one structure per case and
+// requires the checker to flag it — proof the oracle's per-N-cycle sweep
+// is not vacuously green.
+func TestCheckInvariantsDetectsCorruption(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(c *Core)
+		want    string // substring of the expected violation
+	}{
+		{
+			name:    "window-accounting",
+			corrupt: func(c *Core) { c.window++ },
+			want:    "window",
+		},
+		{
+			name: "pooled-live-inst",
+			corrupt: func(c *Core) {
+				// Recycle a live ROB entry without releasing it.
+				c.pool = append(c.pool, c.main.rob.front())
+			},
+			want: "pool",
+		},
+		{
+			name: "writer-chain-cycle",
+			corrupt: func(c *Core) {
+				for r := 0; r < isa.NumRegs; r++ {
+					if w := c.main.lastWriter[r]; w != nil {
+						w.prevWriter = w // self-loop after a botched unlink
+						return
+					}
+				}
+				t.Skip("no live writer chain at the stop point")
+			},
+			want: "writer chain",
+		},
+		{
+			name: "store-queue-lost-undo",
+			corrupt: func(c *Core) {
+				if c.mainStores.len() == 0 {
+					t.Skip("no in-flight stores at the stop point")
+				}
+				c.mainStores.front().undoMemValid = false
+			},
+			want: "mainStores",
+		},
+		{
+			name: "ready-list-stale",
+			corrupt: func(c *Core) {
+				if len(c.ready) == 0 {
+					t.Skip("empty ready list at the stop point")
+				}
+				c.ready[0].waitCount = 1
+			},
+			want: "ready",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := invariantTestCore(t)
+			tc.corrupt(c)
+			err := c.CheckInvariants()
+			if err == nil {
+				t.Fatal("corruption not detected")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("violation %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

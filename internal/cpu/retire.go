@@ -51,6 +51,9 @@ func (c *Core) retireInst(di *DynInst) {
 	if !t.IsMain {
 		c.helperWindow--
 	}
+	// The instruction's RAS checkpoint can never be restored again; commit
+	// it so the repair journal stays bounded by in-flight pushes.
+	t.RAS.Commit(di.RASAfter)
 
 	if !t.IsMain {
 		c.S.HelperRetired++
@@ -59,6 +62,15 @@ func (c *Core) retireInst(di *DynInst) {
 	}
 
 	c.S.MainRetired++
+	if c.RetireObserver != nil {
+		// The differential oracle sees the committed stream here, while
+		// the instruction's outcome and undo state are still intact.
+		// retiring exempts di from the invariant checker's liveness
+		// checks: it is popped from the ROB but not yet released.
+		c.retiring = di
+		c.RetireObserver(di)
+		c.retiring = nil
+	}
 	in := di.Static
 	pc := di.PC
 	st := c.staticFor(pc)

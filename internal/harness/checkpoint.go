@@ -148,11 +148,12 @@ func (cp *Checkpointer) Warm(w *workloads.Workload, cfg cpu.Config, withSlices b
 		cp.st.DiskBytes += uint64(n)
 		cp.mu.Unlock()
 	} else {
-		en.ck, en.err = cp.build(w, cfg, withSlices, warm)
+		var persist bool
+		en.ck, persist, en.err = cp.build(w, cfg, withSlices, warm)
 		cp.mu.Lock()
 		cp.st.WarmMisses++
 		cp.mu.Unlock()
-		if en.err == nil {
+		if en.err == nil && persist {
 			if n := cp.diskStore(key, en.ck); n > 0 {
 				cp.mu.Lock()
 				cp.st.DiskStores++
@@ -169,9 +170,18 @@ func (cp *Checkpointer) Warm(w *workloads.Workload, cfg cpu.Config, withSlices b
 // ready to measure under cfg. Every call restores its own core; one
 // checkpoint serves any number of concurrent WarmedCore calls.
 func (cp *Checkpointer) WarmedCore(w *workloads.Workload, cfg cpu.Config, withSlices bool, warm uint64) (*cpu.Core, WarmSource, error) {
+	core, _, src, err := cp.WarmedCoreCkpt(w, cfg, withSlices, warm)
+	return core, src, err
+}
+
+// WarmedCoreCkpt is WarmedCore returning the warm checkpoint alongside the
+// restored core. The checkpoint is the shared cache entry — read-only — and
+// captures the core's exact architectural state at the start of the
+// measured region, which is what the differential oracle seeds from.
+func (cp *Checkpointer) WarmedCoreCkpt(w *workloads.Workload, cfg cpu.Config, withSlices bool, warm uint64) (*cpu.Core, *cpu.Checkpoint, WarmSource, error) {
 	ck, src, err := cp.Warm(w, cfg, withSlices, warm)
 	if err != nil {
-		return nil, src, err
+		return nil, nil, src, err
 	}
 	var table *slicehw.Table
 	if withSlices {
@@ -179,21 +189,27 @@ func (cp *Checkpointer) WarmedCore(w *workloads.Workload, cfg cpu.Config, withSl
 	}
 	core, err := cpu.Restore(cfg, w.Image, ck, table)
 	if err != nil {
-		return nil, src, err
+		return nil, nil, src, err
 	}
 	cp.mu.Lock()
 	cp.st.Restores++
 	cp.mu.Unlock()
-	return core, src, nil
+	return core, ck, src, nil
 }
 
 // build simulates one warm prefix and checkpoints the quiesced machine.
-func (cp *Checkpointer) build(w *workloads.Workload, cfg cpu.Config, withSlices bool, warm uint64) (*cpu.Checkpoint, error) {
+// persist reports whether the checkpoint is safe to write to the on-disk
+// store: a warm region truncated by the MaxCycles guard produces a
+// checkpoint of the wrong machine state (fewer instructions warmed than the
+// key claims), and persisting it would poison every later run sharing the
+// prefix — so it is used for this process only, with a warning.
+func (cp *Checkpointer) build(w *workloads.Workload, cfg cpu.Config, withSlices bool, warm uint64) (ck *cpu.Checkpoint, persist bool, err error) {
 	if cp.Mode == WarmFunctional {
 		// The functional path models no slices; the restored measurement
 		// core starts with a cold correlator (Restore accepts the nil
 		// states), which is part of the documented accuracy gap.
-		return cpu.FunctionalWarm(cfg, w.Image, w.NewMemory(), w.Entry, warm, nil)
+		ck, err = cpu.FunctionalWarm(cfg, w.Image, w.NewMemory(), w.Entry, warm, nil)
+		return ck, err == nil, err
 	}
 	var table *slicehw.Table
 	if withSlices {
@@ -201,10 +217,17 @@ func (cp *Checkpointer) build(w *workloads.Workload, cfg cpu.Config, withSlices 
 	}
 	core, err := cpu.New(cfg.WarmConfig(), w.Image, w.NewMemory(), w.Entry, table)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	core.Run(warm)
-	return core.Checkpoint()
+	if core.S.CycleGuardHits > 0 {
+		warnf("%s warm-up hit the MaxCycles guard after %d retired instructions (wanted %d) — checkpoint not persisted",
+			w.Name, core.S.MainRetired, warm)
+		ck, err = core.Checkpoint()
+		return ck, false, err
+	}
+	ck, err = core.Checkpoint()
+	return ck, err == nil, err
 }
 
 // --- on-disk store ---

@@ -99,6 +99,9 @@ type Engine struct {
 	// Run) with a shared or disk-backed one so warm prefixes survive
 	// across engines or process invocations.
 	Ckpt *Checkpointer
+	// Oracle attaches the differential oracle to every measured run;
+	// a divergence fails the run (set before the first Run).
+	Oracle OracleOptions
 
 	mu   sync.Mutex // guards memo and the counters
 	memo map[string]*memoEntry
@@ -109,8 +112,9 @@ type Engine struct {
 }
 
 type memoEntry struct {
-	done chan struct{} // closed when res is valid
+	done chan struct{} // closed when res/err are valid
 	res  *RunResult
+	err  error
 }
 
 // NewEngine builds an engine. jobs ≤ 0 selects GOMAXPROCS workers.
@@ -165,7 +169,7 @@ func (e *Engine) Run(spec RunSpec) (*RunResult, error) {
 		e.mu.Unlock()
 		<-en.done
 		e.emit(Event{Spec: spec, Memoized: true})
-		return en.res, nil
+		return en.res, en.err
 	}
 	en := &memoEntry{done: make(chan struct{})}
 	e.memo[key] = en
@@ -174,15 +178,15 @@ func (e *Engine) Run(spec RunSpec) (*RunResult, error) {
 
 	w, err := workloads.ByName(spec.Workload)
 	if err != nil {
-		// Leave the entry resolved-empty so waiters do not hang.
-		en.res = nil
+		// Resolve the entry with the error so waiters see it too.
+		en.err = err
 		close(en.done)
 		return nil, err
 	}
 	start := time.Now()
-	core, warmSrc, err := runOnce(e.Ckpt, w, spec.Cfg, spec.WithSlices, spec.Warm, spec.Run)
+	core, warmSrc, err := runOnce(e.Ckpt, w, spec.Cfg, spec.WithSlices, spec.Warm, spec.Run, e.Oracle)
 	if err != nil {
-		en.res = nil
+		en.err = err
 		close(en.done)
 		return nil, err
 	}

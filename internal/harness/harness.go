@@ -6,9 +6,11 @@
 package harness
 
 import (
+	"fmt"
 	"sync/atomic"
 
 	"repro/internal/cpu"
+	"repro/internal/oracle"
 	"repro/internal/workloads"
 )
 
@@ -66,13 +68,46 @@ func (p Params) regions(w *workloads.Workload) (warm, run uint64) {
 // snapshots. Each call restores a private core over copy-on-write memory,
 // so concurrent calls are independent; the engine relies on this to
 // parallelize.
-func runOnce(cp *Checkpointer, w *workloads.Workload, cfg cpu.Config, withSlices bool, warm, run uint64) (*cpu.Core, WarmSource, error) {
-	core, src, err := cp.WarmedCore(w, cfg, withSlices, warm)
+// When o.Oracle is set, the differential oracle is seeded from the same
+// warm checkpoint the core restores from and attached for the measured
+// region; any divergence (or invariant violation) fails the run with a
+// *oracle.DivergenceError.
+func runOnce(cp *Checkpointer, w *workloads.Workload, cfg cpu.Config, withSlices bool, warm, run uint64, o OracleOptions) (*cpu.Core, WarmSource, error) {
+	core, ck, src, err := cp.WarmedCoreCkpt(w, cfg, withSlices, warm)
 	if err != nil {
 		return nil, src, err
 	}
+	var orc *oracle.Oracle
+	if o.Enabled {
+		orc = oracle.FromCheckpoint(w.Image, ck, oracle.Options{
+			Workload: w.Name,
+			WarmKey:  WarmKeyFor(w.Name, withSlices, warm, cp.Mode, cfg),
+			Every:    o.Every,
+		})
+		orc.Attach(core)
+	}
 	core.Run(run)
+	if orc != nil {
+		// One final structural sweep at the region boundary, so short runs
+		// that never crossed a sweep period are still checked.
+		if err := core.CheckInvariants(); err != nil {
+			return nil, src, fmt.Errorf("%s (%s, slices=%t): oracle: %w", w.Name, cfg.Name, withSlices, err)
+		}
+		if err := orc.Err(); err != nil {
+			return nil, src, fmt.Errorf("%s (%s, slices=%t): %w", w.Name, cfg.Name, withSlices, err)
+		}
+	}
 	return core, src, nil
+}
+
+// OracleOptions configures the per-run differential oracle (see
+// internal/oracle).
+type OracleOptions struct {
+	// Enabled attaches the oracle to every measured run.
+	Enabled bool
+	// Every is the invariant-sweep period in cycles (0 = the oracle's
+	// default, negative disables the sweep).
+	Every int64
 }
 
 // --- Table 2 ---

@@ -1,0 +1,125 @@
+// Package progen generates random but guaranteed-terminating programs for
+// differential testing: the out-of-order core (with its wrong paths,
+// squashes, store forwarding, and write buffer) must match the functional
+// reference exactly on every one. The generator lives in its own package
+// so both the cpu-level tests and the oracle's fuzzer share one corpus
+// shape.
+package progen
+
+import (
+	"math/rand"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Arena is the base address of the generated programs' private data arena
+// (1024 8-byte slots, initialized by the returned init function).
+const Arena = 0x40000
+
+// ArenaSlots is how many 8-byte slots the init function seeds.
+const ArenaSlots = 1024
+
+// Program builds a random terminating program: a counted outer loop whose
+// body mixes ALU ops, loads/stores into the arena, data-dependent forward
+// branches, counted inner loops, and calls. It returns the image, the
+// entry PC, and an initializer for the memory the program runs against.
+func Program(rng *rand.Rand) (*asm.Image, uint64, func(m *mem.Memory)) {
+	b := asm.NewBuilder(0x1000)
+	b.Li(27, Arena)
+	b.I(isa.LDI, 1, 0, int32(20+rng.Intn(60))) // outer count
+	b.Li(20, int64(rng.Uint64()>>1|1))         // rng state
+
+	b.Label("outer")
+	xor := func(st, tmp isa.Reg) {
+		b.I(isa.SLLI, tmp, st, 13)
+		b.R(isa.XOR, st, st, tmp)
+		b.I(isa.SRLI, tmp, st, 7)
+		b.R(isa.XOR, st, st, tmp)
+	}
+	xor(20, 9)
+
+	nBlocks := 3 + rng.Intn(5)
+	for blk := 0; blk < nBlocks; blk++ {
+		switch rng.Intn(7) {
+		case 0: // ALU chain
+			for i := 0; i < 2+rng.Intn(6); i++ {
+				rd := isa.Reg(2 + rng.Intn(8))
+				ra := isa.Reg(2 + rng.Intn(8))
+				rb := isa.Reg(2 + rng.Intn(8))
+				ops := []isa.Op{isa.ADD, isa.SUB, isa.XOR, isa.AND, isa.OR, isa.S4ADD, isa.MUL}
+				b.R(ops[rng.Intn(len(ops))], rd, ra, rb)
+			}
+		case 1: // store + load (forwarding pressure)
+			off := int32(rng.Intn(64)) * 8
+			rs := isa.Reg(2 + rng.Intn(8))
+			b.St(rs, off, 27)
+			b.Ld(isa.Reg(2+rng.Intn(8)), off, 27)
+		case 2: // data-dependent forward branch
+			lbl := b.PC() // unique label name from PC
+			name := lblName("skip", lbl)
+			b.I(isa.ANDI, 10, 20, int32(1<<uint(rng.Intn(3))))
+			b.B(isa.BEQ, 10, name)
+			for i := 0; i < 1+rng.Intn(4); i++ {
+				b.I(isa.ADDI, isa.Reg(2+rng.Intn(8)), isa.Reg(2+rng.Intn(8)), int32(rng.Intn(9)-4))
+			}
+			b.Label(name)
+		case 3: // counted inner loop
+			name := lblName("inner", b.PC())
+			b.I(isa.LDI, 11, 0, int32(1+rng.Intn(6)))
+			b.Label(name)
+			b.I(isa.ADDI, 12, 12, 7)
+			b.St(12, int32(rng.Intn(32))*8, 27)
+			b.I(isa.ADDI, 11, 11, -1)
+			b.B(isa.BGT, 11, name)
+		case 4: // call/return
+			fn := lblName("fn", b.PC())
+			after := lblName("after", b.PC())
+			b.Call(fn)
+			b.Br(after)
+			b.Label(fn)
+			b.R(isa.ADD, 13, 13, 20)
+			b.Ret()
+			b.Label(after)
+		case 5: // pointer-ish scattered load
+			b.I(isa.ANDI, 14, 20, 0x7F8)
+			b.R(isa.ADD, 14, 14, 27)
+			b.Ld(15, 0, 14)
+			b.R(isa.ADD, 16, 16, 15)
+		case 6: // conditional moves (dest doubles as a source; the old
+			// value must survive when the move does not fire, including
+			// across squash-and-refetch)
+			cmovs := []isa.Op{isa.CMOVEQ, isa.CMOVNE, isa.CMOVLT, isa.CMOVGE, isa.CMOVGT, isa.CMOVLE}
+			for i := 0; i < 1+rng.Intn(3); i++ {
+				rd := isa.Reg(2 + rng.Intn(8))
+				ra := isa.Reg(2 + rng.Intn(8))
+				rb := isa.Reg(2 + rng.Intn(8))
+				b.R(cmovs[rng.Intn(len(cmovs))], rd, ra, rb)
+			}
+		}
+	}
+	b.I(isa.ADDI, 1, 1, -1)
+	b.B(isa.BGT, 1, "outer")
+	b.Halt()
+	p := b.MustBuild()
+	im, err := asm.NewImage(p)
+	if err != nil {
+		panic(err)
+	}
+	init := func(m *mem.Memory) {
+		for i := uint64(0); i < ArenaSlots; i++ {
+			m.WriteU64(Arena+i*8, i*0x9E37)
+		}
+	}
+	return im, p.Base, init
+}
+
+func lblName(prefix string, pc uint64) string {
+	const hexdigits = "0123456789abcdef"
+	buf := []byte(prefix)
+	for sh := 28; sh >= 0; sh -= 4 {
+		buf = append(buf, hexdigits[(pc>>uint(sh))&0xF])
+	}
+	return string(buf)
+}

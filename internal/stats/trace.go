@@ -40,6 +40,10 @@ const (
 	// Memory hierarchy (cache).
 	EvCacheFill  EventKind = "cache-fill"  // line fill initiated (Level: l1d|l1i|l2|pvb)
 	EvCacheCover EventKind = "cache-cover" // demand access served by a helper-fetched line
+
+	// Differential oracle (oracle).
+	EvOracleDiverge   EventKind = "oracle-diverge"   // retired stream diverged from the functional model (N: retired index)
+	EvOracleInvariant EventKind = "oracle-invariant" // structural invariant violated (N: retired index)
 )
 
 // Event is one structured telemetry event. Zero-valued fields are
