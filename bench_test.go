@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/cpu"
 	"repro/internal/harness"
+	"repro/internal/mem"
 	"repro/internal/workloads"
 )
 
@@ -325,4 +326,49 @@ func pickOne(b *testing.B, name string) *workloads.Workload {
 		b.Fatal(err)
 	}
 	return w
+}
+
+// BenchmarkFunctionalExec measures pure functional-model throughput on
+// both engines: the legacy decode-dispatch interpreter
+// (cpu.RunFunctionalInterp) and the compiled threaded-code engine behind
+// cpu.RunFunctional. SetBytes(region) makes the MB/s column simulated
+// megainstructions per wall second; the compiled/interp ratio is the
+// headline speedup committed in BENCH_PR6.json.
+func BenchmarkFunctionalExec(b *testing.B) {
+	const region = 1_000_000
+	type engine struct {
+		name string
+		run  func(w *workloads.Workload, m *mem.Memory) (cpu.FuncState, error)
+	}
+	engines := []engine{
+		{"interp", func(w *workloads.Workload, m *mem.Memory) (cpu.FuncState, error) {
+			return cpu.RunFunctionalInterp(w.Image, m, w.Entry, region)
+		}},
+		{"compiled", func(w *workloads.Workload, m *mem.Memory) (cpu.FuncState, error) {
+			return cpu.RunFunctional(w.Image, m, w.Entry, region)
+		}},
+	}
+	for _, name := range []string{"vpr", "mcf", "gzip"} {
+		w := pickOne(b, name)
+		for _, e := range engines {
+			e := e
+			b.Run(fmt.Sprintf("%s/engine=%s", name, e.name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					// Memory image construction is workload setup, not
+					// engine throughput; keep it off the clock.
+					b.StopTimer()
+					m := w.NewMemory()
+					b.StartTimer()
+					st, err := e.run(w, m)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if st.Retired != region {
+						b.Fatalf("retired %d of %d (workload halted early)", st.Retired, region)
+					}
+				}
+				b.SetBytes(region)
+			})
+		}
+	}
 }

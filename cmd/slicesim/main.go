@@ -62,7 +62,7 @@ func main() {
 		perfect  = flag.Bool("perfect", false, "perfect branch prediction and caches (limit study)")
 		asJSON   = flag.Bool("json", false, "emit the run's full counter snapshot as JSON")
 		ckDir    = flag.String("checkpoint-dir", "", "persist warm-up checkpoints in this directory (created if missing)")
-		warmFlg  = flag.String("warm", "detailed", "warm-up mode: detailed|functional")
+		warmFlg  = flag.String("warm", "detailed", "warm-up mode: detailed|functional|functional-interp")
 		useOrc   = flag.Bool("oracle", false, "validate the run against the functional model (differential oracle)")
 		orcEvery = flag.Int64("oracle-every", 0, "oracle invariant-sweep period in cycles (0 = default, <0 disables)")
 		orcOut   = flag.String("oracle-report", "", "write oracle divergence reports (JSON) to this file on failure")

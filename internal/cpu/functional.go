@@ -1,10 +1,12 @@
 package cpu
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/asm"
 	"repro/internal/isa"
+	"repro/internal/isa/compiled"
 	"repro/internal/mem"
 )
 
@@ -37,11 +39,36 @@ func (f funcCtx) SetReg(r isa.Reg, v uint64) {
 func (f funcCtx) Load(addr uint64, size int) (uint64, bool)  { return f.m.Read(addr, size) }
 func (f funcCtx) Store(addr uint64, size int, v uint64) bool { return f.m.Write(addr, size, v) }
 
-// RunFunctional interprets the image architecturally — no pipeline, no
+// RunFunctional executes the image architecturally — no pipeline, no
 // caches, no speculation. It is the reference model the out-of-order core
 // must match instruction-for-instruction, and the engine behind the
-// problem-instruction profiler's oracle counts.
+// problem-instruction profiler's oracle counts. It runs on the compiled
+// engine (isa/compiled); RunFunctionalInterp is the decode-dispatch
+// interpreter it is differentially tested against.
 func RunFunctional(image *asm.Image, m *mem.Memory, entry uint64, maxInsts uint64) (FuncState, error) {
+	var st FuncState
+	ma := compiled.NewMachine(compiled.Cached(image), m, entry)
+	n, err := ma.Run(maxInsts)
+	st.Retired = n
+	st.Halted = ma.Halted()
+	st.PC = ma.PC()
+	ma.CopyRegs(&st.Regs)
+	if err != nil {
+		var off *compiled.OffImageError
+		if errors.As(err, &off) {
+			return st, fmt.Errorf("cpu: functional run fell off the image at %#x after %d instructions", off.PC, st.Retired)
+		}
+		return st, err
+	}
+	return st, nil
+}
+
+// RunFunctionalInterp is RunFunctional on the original decode-dispatch
+// interpreter (isa.Execute against the image, one lookup per
+// instruction). It is retained as the differential reference for the
+// compiled engine — equivalence tests and the functional-interp warm mode
+// run on it — and as the baseline leg of BenchmarkFunctionalExec.
+func RunFunctionalInterp(image *asm.Image, m *mem.Memory, entry uint64, maxInsts uint64) (FuncState, error) {
 	var st FuncState
 	st.PC = entry
 	ctx := funcCtx{regs: &st.Regs, m: m}

@@ -32,11 +32,17 @@ const (
 	// Restoring a detailed checkpoint and measuring is behavior-identical
 	// to warming and measuring straight through.
 	WarmDetailed WarmMode = "detailed"
-	// WarmFunctional fast-forwards the warm region with the functional
-	// interpreter plus cache/predictor touch-warming (cpu.FunctionalWarm).
-	// Much faster, but only statistically close to detailed warm — see
-	// DESIGN.md for the documented tolerance.
+	// WarmFunctional fast-forwards the warm region with the compiled
+	// functional engine plus cache/predictor touch-warming
+	// (cpu.FunctionalWarm). Much faster, but only statistically close to
+	// detailed warm — see DESIGN.md for the documented tolerance.
 	WarmFunctional WarmMode = "functional"
+	// WarmFunctionalInterp is WarmFunctional on the retained decode-
+	// dispatch interpreter (cpu.FunctionalWarmInterp). It exists as the
+	// differential reference for the compiled engine: given identical
+	// inputs the two modes must produce byte-identical checkpoints, and
+	// the CI oracle sweep runs a leg on each.
+	WarmFunctionalInterp WarmMode = "functional-interp"
 )
 
 // ParseWarmMode parses a -warm flag value.
@@ -46,8 +52,11 @@ func ParseWarmMode(s string) (WarmMode, error) {
 		return WarmDetailed, nil
 	case WarmFunctional:
 		return WarmFunctional, nil
+	case WarmFunctionalInterp:
+		return WarmFunctionalInterp, nil
 	}
-	return "", fmt.Errorf("unknown warm mode %q (want %q or %q)", s, WarmDetailed, WarmFunctional)
+	return "", fmt.Errorf("unknown warm mode %q (want %q, %q, or %q)",
+		s, WarmDetailed, WarmFunctional, WarmFunctionalInterp)
 }
 
 // WarmKeyFor is the identity of one shareable warm prefix. Configurations
@@ -204,11 +213,15 @@ func (cp *Checkpointer) WarmedCoreCkpt(w *workloads.Workload, cfg cpu.Config, wi
 // key claims), and persisting it would poison every later run sharing the
 // prefix — so it is used for this process only, with a warning.
 func (cp *Checkpointer) build(w *workloads.Workload, cfg cpu.Config, withSlices bool, warm uint64) (ck *cpu.Checkpoint, persist bool, err error) {
-	if cp.Mode == WarmFunctional {
+	switch cp.Mode {
+	case WarmFunctional:
 		// The functional path models no slices; the restored measurement
 		// core starts with a cold correlator (Restore accepts the nil
 		// states), which is part of the documented accuracy gap.
 		ck, err = cpu.FunctionalWarm(cfg, w.Image, w.NewMemory(), w.Entry, warm, nil)
+		return ck, err == nil, err
+	case WarmFunctionalInterp:
+		ck, err = cpu.FunctionalWarmInterp(cfg, w.Image, w.NewMemory(), w.Entry, warm, nil)
 		return ck, err == nil, err
 	}
 	var table *slicehw.Table

@@ -166,6 +166,18 @@ func (o Op) String() string {
 // Valid reports whether o is a defined opcode.
 func (o Op) Valid() bool { return o < numOps }
 
+// Opcode-level classification, for callers that have an Op without an
+// Inst (the compiled engine's Step returns just the opcode).
+
+// IsCondBranch reports whether the opcode is a conditional branch.
+func (o Op) IsCondBranch() bool { return o >= BEQ && o <= BGE }
+
+// IsCall reports whether the opcode pushes a return address.
+func (o Op) IsCall() bool { return o == CALL || o == CALLR }
+
+// IsRet reports whether the opcode pops the return address stack.
+func (o Op) IsRet() bool { return o == RET }
+
 // Inst is one decoded SSA-64 instruction. PCs advance by InstBytes per
 // instruction; PC-relative branch immediates count instructions, not bytes.
 type Inst struct {
@@ -187,7 +199,7 @@ func (in *Inst) BranchTarget(pc uint64) uint64 {
 }
 
 // IsCondBranch reports whether the instruction is a conditional branch.
-func (in *Inst) IsCondBranch() bool { return in.Op >= BEQ && in.Op <= BGE }
+func (in *Inst) IsCondBranch() bool { return in.Op.IsCondBranch() }
 
 // IsDirectCtrl reports whether the instruction is direct control flow
 // (conditional branch, BR, or CALL) whose target is known at decode — the
@@ -205,10 +217,10 @@ func (in *Inst) IsIndirectCtrl() bool {
 func (in *Inst) IsCtrl() bool { return in.Op >= BEQ && in.Op <= RET }
 
 // IsCall reports whether the instruction pushes a return address.
-func (in *Inst) IsCall() bool { return in.Op == CALL || in.Op == CALLR }
+func (in *Inst) IsCall() bool { return in.Op.IsCall() }
 
 // IsRet reports whether the instruction pops the return address stack.
-func (in *Inst) IsRet() bool { return in.Op == RET }
+func (in *Inst) IsRet() bool { return in.Op.IsRet() }
 
 // IsLoad reports whether the instruction reads memory.
 func (in *Inst) IsLoad() bool { return in.Op >= LD && in.Op <= LDBU }

@@ -30,6 +30,9 @@ type Memory struct {
 	// must be copied before the first write (copy-on-write). Nil until the
 	// memory participates in a snapshot, so ordinary runs never consult it.
 	shared map[uint64]struct{}
+	// gen counts ownership epochs: Snapshot bumps it, which tells every
+	// Pager that cached page pointers (and their writability) are stale.
+	gen uint64
 }
 
 // New returns an empty memory.
@@ -202,6 +205,7 @@ func (m *Memory) Snapshot() *Snapshot {
 		pages:       make(map[uint64]*[PageSize]byte, len(m.pages)),
 		bytesMapped: m.bytesMapped,
 	}
+	m.gen++
 	if m.shared == nil {
 		m.shared = make(map[uint64]struct{}, len(m.pages))
 	}

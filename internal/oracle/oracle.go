@@ -10,11 +10,13 @@
 // wrong-path effect is undone before correct-path re-fetch, so the
 // retired outcome of each main-thread instruction must equal what a
 // plain architectural interpreter computes at the same point in the
-// stream. The oracle holds that interpreter privately (its own register
-// file and memory image, seeded from the program entry or from a
-// checkpoint), executes one instruction per retirement, and diffs every
-// architecturally visible field. The first mismatch is a real bug in one
-// of the two models — there is no tolerance window.
+// stream. The oracle holds that model privately (a compiled-engine
+// machine with its own register file and memory image, seeded from the
+// program entry or from a checkpoint — see isa/compiled for the engine
+// and its differential tests against isa.Execute), executes one
+// instruction per retirement, and diffs every architecturally visible
+// field. The first mismatch is a real bug in one of the two models —
+// there is no tolerance window.
 //
 // Two things the oracle deliberately does NOT do:
 //
@@ -38,6 +40,7 @@ import (
 	"repro/internal/asm"
 	"repro/internal/cpu"
 	"repro/internal/isa"
+	"repro/internal/isa/compiled"
 	"repro/internal/mem"
 	"repro/internal/stats"
 )
@@ -128,10 +131,10 @@ type Oracle struct {
 	opt   Options
 	image *asm.Image
 
-	// Private architectural machine: never aliased with the core's.
-	regs   [isa.NumRegs]uint64
-	m      *mem.Memory
-	pc     uint64
+	// Private architectural machine (the compiled engine; never aliased
+	// with the core's state). The image is kept only for disassembling
+	// the cold divergence path.
+	ma     *compiled.Machine
 	halted bool
 
 	index uint64 // retirements observed by this oracle
@@ -149,29 +152,15 @@ type Oracle struct {
 	dropped int // divergences past MaxReports
 }
 
-type octx struct{ o *Oracle }
-
-func (x octx) Reg(r isa.Reg) uint64 {
-	if r == isa.Zero {
-		return 0
-	}
-	return x.o.regs[r]
-}
-
-func (x octx) SetReg(r isa.Reg, v uint64) {
-	if r != isa.Zero {
-		x.o.regs[r] = v
-	}
-}
-
-func (x octx) Load(addr uint64, size int) (uint64, bool)  { return x.o.m.Read(addr, size) }
-func (x octx) Store(addr uint64, size int, v uint64) bool { return x.o.m.Write(addr, size, v) }
-
 // New builds an oracle whose functional model starts at entry with zero
 // registers against m. The memory must be the oracle's own copy — it is
 // mutated by every store the model executes.
 func New(image *asm.Image, m *mem.Memory, entry uint64, opt Options) *Oracle {
-	o := &Oracle{opt: opt, image: image, m: m, pc: entry}
+	o := &Oracle{
+		opt:   opt,
+		image: image,
+		ma:    compiled.NewMachine(compiled.Cached(image), m, entry),
+	}
 	o.init()
 	return o
 }
@@ -184,12 +173,12 @@ func FromCheckpoint(image *asm.Image, ck *cpu.Checkpoint, opt Options) *Oracle {
 	o := &Oracle{
 		opt:    opt,
 		image:  image,
-		regs:   ck.Regs,
-		m:      mem.NewFromSnapshot(ck.Mem),
-		pc:     ck.PC,
+		ma:     compiled.NewMachine(compiled.Cached(image), mem.NewFromSnapshot(ck.Mem), ck.PC),
 		halted: ck.MainHalted,
 		base:   ck.WarmRetired,
 	}
+	regs := ck.Regs
+	o.ma.SetRegs(&regs)
 	o.init()
 	return o
 }
@@ -239,19 +228,19 @@ func (o *Oracle) OnRetire(di *cpu.DynInst) {
 			fmt.Sprintf("core retired pc=%#x after the functional model halted", di.PC), nil)
 		return
 	}
-	if di.PC != o.pc {
+	pc := o.ma.PC()
+	if di.PC != pc {
 		o.streamDiverge(di, idx, "pc",
-			fmt.Sprintf("core retired pc=%#x, functional model expects pc=%#x", di.PC, o.pc), nil)
-		return
-	}
-	in, ok := o.image.At(o.pc)
-	if !ok {
-		o.streamDiverge(di, idx, "off-image",
-			fmt.Sprintf("functional model fell off the image at %#x", o.pc), nil)
+			fmt.Sprintf("core retired pc=%#x, functional model expects pc=%#x", di.PC, pc), nil)
 		return
 	}
 
-	out := isa.Execute(in, o.pc, octx{o})
+	var out isa.Outcome
+	if _, err := o.ma.Step(&out); err != nil {
+		o.streamDiverge(di, idx, "off-image",
+			fmt.Sprintf("functional model fell off the image at %#x", pc), nil)
+		return
+	}
 	got, want := &di.Out, &out
 
 	var delta []string
@@ -303,15 +292,18 @@ func (o *Oracle) OnRetire(di *cpu.DynInst) {
 	}
 
 	if kind != "" {
-		o.streamDiverge(di, idx, kind, fmt.Sprintf("retired %v disagrees with the functional model", in), delta)
+		// Cold path: fetch the instruction text only for the report.
+		detail := "retired instruction disagrees with the functional model"
+		if in, ok := o.image.At(pc); ok {
+			detail = fmt.Sprintf("retired %v disagrees with the functional model", in)
+		}
+		o.streamDiverge(di, idx, kind, detail, delta)
 		return
 	}
 
 	if want.Halt {
 		o.halted = true
-		return
 	}
-	o.pc = want.NextPC(o.pc)
 }
 
 // streamDiverge records a lockstep mismatch and ends the diff.
@@ -359,7 +351,7 @@ func (o *Oracle) Retired() uint64 { return o.index }
 
 // Mem exposes the functional model's private memory image (final-state
 // comparisons in tests; do not write to it).
-func (o *Oracle) Mem() *mem.Memory { return o.m }
+func (o *Oracle) Mem() *mem.Memory { return o.ma.Mem() }
 
 // Divergences returns every recorded report.
 func (o *Oracle) Divergences() []Divergence { return o.divs }
@@ -386,7 +378,7 @@ func (o *Oracle) VerifyFinal(c *cpu.Core) error {
 	}
 	var delta []string
 	for r := 1; r < isa.NumRegs; r++ {
-		if cv, ov := c.Main().Regs[r], o.regs[r]; cv != ov {
+		if cv, ov := c.Main().Regs[r], o.ma.Reg(isa.Reg(r)); cv != ov {
 			delta = append(delta, fmt.Sprintf("r%d: core=%#x model=%#x", r, cv, ov))
 		}
 	}
