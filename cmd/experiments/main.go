@@ -7,7 +7,8 @@
 //	experiments -exp table3     slice characterization
 //	experiments -exp figure11   slice vs constrained-limit speedups
 //	experiments -exp table4     detailed slice-execution statistics
-//	experiments -exp all        everything above
+//	experiments -exp figurepred slices vs value/correlation/perfect predictors
+//	experiments -exp all        everything above except figurepred
 //
 // -scale shrinks the measured regions for quick runs (1.0 ≈ a few hundred
 // thousand instructions per run; the paper used 100M-instruction regions).
@@ -17,9 +18,14 @@
 // runs) execute once. -jobs bounds the worker pool (default GOMAXPROCS);
 // -v prints one line per simulation plus a final hit/miss summary.
 //
-// -json runs every experiment and emits one machine-readable document
-// (schema specslice-experiments/2) containing all tables and figures,
-// for bench trajectories and plotting scripts.
+// -json runs every experiment (including figurepred) and emits one
+// machine-readable document (schema specslice-experiments/3) containing
+// all tables and figures, for bench trajectories and plotting scripts.
+//
+// -bpred and -ipred swap the direction / indirect predictor of every
+// driver-built baseline configuration (registry spec, e.g. -bpred
+// gshare:4096,10); figurepred's alternative legs stay pinned to their own
+// predictors.
 //
 // -checkpoint-dir persists warm-up checkpoints across invocations: the
 // first run simulates each distinct warm prefix once and stores a machine
@@ -37,6 +43,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/bpred"
 	"repro/internal/harness"
 	"repro/internal/oracle"
 	"repro/internal/workloads"
@@ -54,7 +61,7 @@ func printSummary(e *harness.Engine) {
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "table1|table2|figure1|table3|figure11|table4|all")
+		exp      = flag.String("exp", "all", "table1|table2|figure1|table3|figure11|table4|figurepred|all")
 		scale    = flag.Float64("scale", 1.0, "region scale factor")
 		only     = flag.String("workload", "", "restrict to one workload")
 		jobs     = flag.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
@@ -65,8 +72,21 @@ func main() {
 		useOrc   = flag.Bool("oracle", false, "validate every run against the functional model (differential oracle)")
 		orcEvery = flag.Int64("oracle-every", 0, "oracle invariant-sweep period in cycles (0 = default, <0 disables)")
 		orcOut   = flag.String("oracle-report", "", "write oracle divergence reports (JSON) to this file on failure")
+		bpredFlg = flag.String("bpred", "", "direction predictor for baseline configs, name[:params]")
+		ipredFlg = flag.String("ipred", "", "indirect target predictor for baseline configs, name[:params]")
 	)
 	flag.Parse()
+
+	// Resolve the predictor specs up front so a typo fails with the
+	// registry's name listing instead of deep inside a parallel batch.
+	if _, err := bpred.NewDir(*bpredFlg); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if _, err := bpred.NewIndirect(*ipredFlg); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	// The experiment drivers panic on run errors (mustRunAll); turn an
 	// oracle divergence back into a report plus a nonzero exit instead of
@@ -108,7 +128,7 @@ func main() {
 		ws = []*workloads.Workload{w}
 	}
 
-	e := harness.NewEngine(harness.Params{Scale: *scale}, *jobs)
+	e := harness.NewEngine(harness.Params{Scale: *scale, BPred: *bpredFlg, IndirectPred: *ipredFlg}, *jobs)
 	e.Ckpt = harness.NewCheckpointer(*ckDir, warmMode)
 	e.Oracle = harness.OracleOptions{Enabled: *useOrc, Every: *orcEvery}
 	if *verbose {
@@ -167,8 +187,14 @@ func main() {
 	if all || *exp == "table4" {
 		runExp("table4", func() { fmt.Print(harness.FormatTable4(e.Table4(ws))) })
 	}
+	// figurepred is explicit-only in text mode: "all" reproduces exactly
+	// the paper's tables and figures (and its output stays stable for
+	// golden comparisons); the predictor comparison is an extension.
+	if *exp == "figurepred" {
+		runExp("figurepred", func() { fmt.Print(harness.FormatFigurePred(e.FigurePred(ws))) })
+	}
 	switch *exp {
-	case "all", "table1", "table2", "figure1", "table3", "figure11", "table4":
+	case "all", "table1", "table2", "figure1", "table3", "figure11", "table4", "figurepred":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(1)

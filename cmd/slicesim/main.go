@@ -9,6 +9,11 @@
 //	slicesim -workload eon -slices -trace      # stream telemetry events as text
 //	slicesim -workload eon -trace -trace-format=jsonl -trace-out=events.jsonl
 //	slicesim -workload eon -trace -trace-format=chrome -trace-out=trace.json
+//	slicesim -workload vpr -bpred gshare:4096,10   # swap the direction predictor
+//
+// -bpred and -ipred select the direction / indirect predictor from the
+// registry in internal/bpred ("name" or "name:params"); an unknown name
+// errors with the list of registered predictors.
 //
 // Warm-up runs under the warm configuration and is excluded from the
 // reported statistics. -checkpoint-dir caches the warmed machine state on
@@ -25,6 +30,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/bpred"
 	"repro/internal/cpu"
 	"repro/internal/harness"
 	"repro/internal/oracle"
@@ -60,6 +66,8 @@ func main() {
 		traceOut = flag.String("trace-out", "", "trace output file (default stdout)")
 		top      = flag.Int("top", 0, "print the N static instructions with the most PDEs")
 		perfect  = flag.Bool("perfect", false, "perfect branch prediction and caches (limit study)")
+		bpredFlg = flag.String("bpred", "", "direction predictor, name[:params] (e.g. yags, value, gshare:4096,10)")
+		ipredFlg = flag.String("ipred", "", "indirect target predictor, name[:params] (e.g. cascaded)")
 		asJSON   = flag.Bool("json", false, "emit the run's full counter snapshot as JSON")
 		ckDir    = flag.String("checkpoint-dir", "", "persist warm-up checkpoints in this directory (created if missing)")
 		warmFlg  = flag.String("warm", "detailed", "warm-up mode: detailed|functional|functional-interp")
@@ -102,6 +110,17 @@ func main() {
 	}
 	if *perfect {
 		cfg.Perfect = cpu.Perfect{AllBranches: true, AllLoads: true}
+	}
+	cfg.BPred, cfg.IndirectPred = *bpredFlg, *ipredFlg
+	// Resolve the predictor specs up front so a typo fails with the
+	// registry's name listing instead of deep inside warm-up.
+	if _, err := bpred.NewDir(cfg.BPred); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if _, err := bpred.NewIndirect(cfg.IndirectPred); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 	warm, region := w.SuggestedWarmup, w.SuggestedRun
 	if *warmup > 0 {

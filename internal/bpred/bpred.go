@@ -1,18 +1,52 @@
 // Package bpred implements the paper's front-end predictors (Table 1): a
 // 64 Kbit YAGS direction predictor, a 32 Kbit cascading indirect branch
 // predictor, and a 64-entry return address stack with checkpoint repair.
-// Bimodal and gshare predictors are included as ablation baselines.
+// Bimodal and gshare predictors are included as ablation baselines, and
+// the prediction-quality frontier adds a value predictor, a sparse
+// correlation-mining predictor, and a perfect-slice upper bound.
 //
 // Predictors are history-external: the CPU owns the speculative global
 // history and path history registers (checkpointed per in-flight branch and
 // restored on squash) and passes them in, so prediction at fetch and update
 // at retire see exactly the history a real front end would.
+//
+// Every predictor sits behind the Predictor seam: it names itself with a
+// canonical spec (which the CPU config fingerprints), serializes its warm
+// state as an opaque CRC-guarded blob (which the checkpoint codec stores
+// without knowing the layout), and exposes its counter struct for the
+// stats registry. New predictors plug in through the registry
+// (RegisterDir/RegisterIndirect) — the core, checkpoint, and harness
+// layers need no changes.
 package bpred
+
+// Predictor is the seam shared by every predictor kind. The CPU, the
+// checkpoint codec, and the stats registry talk to predictors only
+// through this interface (plus the direction/indirect Predict/Update
+// pairs), so adding a predictor is registry registration + config only.
+type Predictor interface {
+	// Spec returns the canonical registry spec ("name" or "name:params")
+	// that reconstructs this predictor. It is embedded in config
+	// fingerprints and checkpoint sections, so it must be deterministic.
+	Spec() string
+	// SaveState serializes the warm (non-stats) predictor state as an
+	// opaque blob with an integrity trailer. LoadState on an identically
+	// configured predictor must reproduce the exact state.
+	SaveState() []byte
+	// LoadState restores a SaveState blob, failing on corruption or a
+	// geometry mismatch.
+	LoadState(b []byte) error
+	// Counters returns the stats.Snapshot field path (e.g. "Bpred.YAGS")
+	// and the counter struct to register there, or ("", nil) if the
+	// predictor keeps no counters.
+	Counters() (field string, ptr any)
+}
 
 // DirPredictor predicts conditional branch directions.
 type DirPredictor interface {
+	Predictor
 	// Predict returns the predicted direction for the branch at pc under
-	// global history hist.
+	// global history hist. Predict runs at fetch — possibly on the wrong
+	// path — so it may mutate stats but no predictive state.
 	Predict(pc, hist uint64) bool
 	// Update trains the predictor with the resolved direction.
 	Update(pc, hist uint64, taken bool)
@@ -20,10 +54,62 @@ type DirPredictor interface {
 
 // IndirectPredictor predicts indirect jump targets.
 type IndirectPredictor interface {
+	Predictor
 	// Predict returns the predicted target (0 if no prediction).
 	Predict(pc, path uint64) uint64
 	// Update trains the predictor with the resolved target.
 	Update(pc, path, target uint64)
+}
+
+// OutcomePrimed is implemented by predictors that want the actual branch
+// outcome before Predict — the execute-at-fetch core knows it, which is
+// what makes a perfect upper bound implementable as a plain predictor.
+type OutcomePrimed interface {
+	PrimeOutcome(taken bool)
+}
+
+// ValueObserver is implemented by predictors that learn from the value a
+// conditional branch tested. The core calls it at retirement (correct
+// path only), just before Update, with the architectural value of the
+// branch's source register and the branch's condition.
+type ValueObserver interface {
+	ObserveValue(pc uint64, cond Cond, value uint64)
+}
+
+// Cond classifies a conditional branch's test against zero. It mirrors
+// the ISA's branch ops without importing the isa package (the CPU maps
+// opcodes to Cond), so value predictors can evaluate a predicted source
+// value into a predicted direction.
+type Cond uint8
+
+const (
+	CondNone Cond = iota
+	CondEQ        // taken iff value == 0
+	CondNE        // taken iff value != 0
+	CondLT        // taken iff value < 0 (signed)
+	CondLE        // taken iff value <= 0 (signed)
+	CondGT        // taken iff value > 0 (signed)
+	CondGE        // taken iff value >= 0 (signed)
+)
+
+// Eval applies the condition to a register value.
+func (c Cond) Eval(v uint64) bool {
+	s := int64(v)
+	switch c {
+	case CondEQ:
+		return v == 0
+	case CondNE:
+		return v != 0
+	case CondLT:
+		return s < 0
+	case CondLE:
+		return s <= 0
+	case CondGT:
+		return s > 0
+	case CondGE:
+		return s >= 0
+	}
+	return false
 }
 
 // ctr is a 2-bit saturating counter.
@@ -51,71 +137,3 @@ func train(c ctr, taken bool) ctr {
 	}
 	return c.dec()
 }
-
-// Bimodal is a PC-indexed table of 2-bit counters.
-type Bimodal struct {
-	table []ctr
-	mask  uint64
-}
-
-// NewBimodal builds a bimodal predictor with entries counters (power of
-// two).
-func NewBimodal(entries int) *Bimodal {
-	t := make([]ctr, entries)
-	for i := range t {
-		t[i] = 2 // weakly taken
-	}
-	return &Bimodal{table: t, mask: uint64(entries - 1)}
-}
-
-func (b *Bimodal) idx(pc uint64) uint64 { return (pc >> 2) & b.mask }
-
-// Predict implements DirPredictor.
-func (b *Bimodal) Predict(pc, _ uint64) bool { return b.table[b.idx(pc)].taken() }
-
-// Update implements DirPredictor.
-func (b *Bimodal) Update(pc, _ uint64, taken bool) {
-	i := b.idx(pc)
-	b.table[i] = train(b.table[i], taken)
-}
-
-// GShare xors global history into the index.
-type GShare struct {
-	table    []ctr
-	mask     uint64
-	histBits uint
-}
-
-// NewGShare builds a gshare predictor with entries counters and histBits of
-// global history.
-func NewGShare(entries int, histBits uint) *GShare {
-	t := make([]ctr, entries)
-	for i := range t {
-		t[i] = 2
-	}
-	return &GShare{table: t, mask: uint64(entries - 1), histBits: histBits}
-}
-
-func (g *GShare) idx(pc, hist uint64) uint64 {
-	h := hist & (1<<g.histBits - 1)
-	return ((pc >> 2) ^ h) & g.mask
-}
-
-// Predict implements DirPredictor.
-func (g *GShare) Predict(pc, hist uint64) bool { return g.table[g.idx(pc, hist)].taken() }
-
-// Update implements DirPredictor.
-func (g *GShare) Update(pc, hist uint64, taken bool) {
-	i := g.idx(pc, hist)
-	g.table[i] = train(g.table[i], taken)
-}
-
-// Oracle is the perfect direction predictor used by the limit studies: the
-// CPU primes it with the actual outcome before asking.
-type Oracle struct{ Outcome bool }
-
-// Predict implements DirPredictor by returning the primed outcome.
-func (o *Oracle) Predict(_, _ uint64) bool { return o.Outcome }
-
-// Update implements DirPredictor as a no-op.
-func (o *Oracle) Update(_, _ uint64, _ bool) {}

@@ -1,0 +1,183 @@
+package bpred
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// Bimodal is a PC-indexed table of 2-bit counters.
+type Bimodal struct {
+	table []ctr
+	mask  uint64
+
+	// Stats counts lookups and mispredicted updates.
+	Stats stats.DirStats
+}
+
+// NewBimodal builds a bimodal predictor with entries counters (power of
+// two).
+func NewBimodal(entries int) *Bimodal {
+	t := make([]ctr, entries)
+	for i := range t {
+		t[i] = 2 // weakly taken
+	}
+	return &Bimodal{table: t, mask: uint64(entries - 1), Stats: stats.DirStats{Kind: "bimodal"}}
+}
+
+func (b *Bimodal) idx(pc uint64) uint64 { return (pc >> 2) & b.mask }
+
+// Predict implements DirPredictor.
+func (b *Bimodal) Predict(pc, _ uint64) bool {
+	b.Stats.Lookups++
+	return b.table[b.idx(pc)].taken()
+}
+
+// Update implements DirPredictor.
+func (b *Bimodal) Update(pc, _ uint64, taken bool) {
+	i := b.idx(pc)
+	if b.table[i].taken() != taken {
+		b.Stats.UpdateMisses++
+	}
+	b.table[i] = train(b.table[i], taken)
+}
+
+// Spec implements Predictor.
+func (b *Bimodal) Spec() string { return fmt.Sprintf("bimodal:%d", len(b.table)) }
+
+// Counters implements Predictor.
+func (b *Bimodal) Counters() (string, any) { return "Bpred.Dir", &b.Stats }
+
+// SaveState implements Predictor.
+func (b *Bimodal) SaveState() []byte {
+	var w blobW
+	w.u64(uint64(len(b.table)))
+	for _, c := range b.table {
+		w.u8(uint8(c))
+	}
+	return w.finish()
+}
+
+// LoadState implements Predictor.
+func (b *Bimodal) LoadState(blob []byte) error {
+	r, err := openBlob("bimodal", blob)
+	if err != nil {
+		return err
+	}
+	if n := r.u64(); n != uint64(len(b.table)) {
+		return fmt.Errorf("bimodal: state has %d entries, predictor %d", n, len(b.table))
+	}
+	for i := range b.table {
+		b.table[i] = ctr(r.u8())
+	}
+	return r.done()
+}
+
+// GShare xors global history into the index.
+type GShare struct {
+	table    []ctr
+	mask     uint64
+	histBits uint
+
+	// Stats counts lookups and mispredicted updates.
+	Stats stats.DirStats
+}
+
+// NewGShare builds a gshare predictor with entries counters and histBits of
+// global history.
+func NewGShare(entries int, histBits uint) *GShare {
+	t := make([]ctr, entries)
+	for i := range t {
+		t[i] = 2
+	}
+	return &GShare{table: t, mask: uint64(entries - 1), histBits: histBits,
+		Stats: stats.DirStats{Kind: "gshare"}}
+}
+
+func (g *GShare) idx(pc, hist uint64) uint64 {
+	h := hist & (1<<g.histBits - 1)
+	return ((pc >> 2) ^ h) & g.mask
+}
+
+// Predict implements DirPredictor.
+func (g *GShare) Predict(pc, hist uint64) bool {
+	g.Stats.Lookups++
+	return g.table[g.idx(pc, hist)].taken()
+}
+
+// Update implements DirPredictor.
+func (g *GShare) Update(pc, hist uint64, taken bool) {
+	i := g.idx(pc, hist)
+	if g.table[i].taken() != taken {
+		g.Stats.UpdateMisses++
+	}
+	g.table[i] = train(g.table[i], taken)
+}
+
+// Spec implements Predictor.
+func (g *GShare) Spec() string { return fmt.Sprintf("gshare:%d,%d", len(g.table), g.histBits) }
+
+// Counters implements Predictor.
+func (g *GShare) Counters() (string, any) { return "Bpred.Dir", &g.Stats }
+
+// SaveState implements Predictor.
+func (g *GShare) SaveState() []byte {
+	var w blobW
+	w.u64(uint64(len(g.table)))
+	w.u64(uint64(g.histBits))
+	for _, c := range g.table {
+		w.u8(uint8(c))
+	}
+	return w.finish()
+}
+
+// LoadState implements Predictor.
+func (g *GShare) LoadState(blob []byte) error {
+	r, err := openBlob("gshare", blob)
+	if err != nil {
+		return err
+	}
+	if n, h := r.u64(), r.u64(); n != uint64(len(g.table)) || h != uint64(g.histBits) {
+		return fmt.Errorf("gshare: state geometry %d/%d does not match predictor %d/%d",
+			n, h, len(g.table), g.histBits)
+	}
+	for i := range g.table {
+		g.table[i] = ctr(r.u8())
+	}
+	return r.done()
+}
+
+// Oracle is the perfect direction predictor used by the limit studies: the
+// CPU primes it with the actual outcome before asking. It keeps no state
+// and no counters.
+type Oracle struct{ Outcome bool }
+
+// Predict implements DirPredictor by returning the primed outcome.
+func (o *Oracle) Predict(_, _ uint64) bool { return o.Outcome }
+
+// Update implements DirPredictor as a no-op.
+func (o *Oracle) Update(_, _ uint64, _ bool) {}
+
+// PrimeOutcome implements OutcomePrimed.
+func (o *Oracle) PrimeOutcome(taken bool) { o.Outcome = taken }
+
+// Spec implements Predictor.
+func (o *Oracle) Spec() string { return "oracle" }
+
+// Counters implements Predictor.
+func (o *Oracle) Counters() (string, any) { return "", nil }
+
+// SaveState implements Predictor: an oracle has no warm state.
+func (o *Oracle) SaveState() []byte {
+	var w blobW
+	return w.finish()
+}
+
+// LoadState implements Predictor.
+func (o *Oracle) LoadState(blob []byte) error {
+	r, err := openBlob("oracle", blob)
+	if err != nil {
+		return err
+	}
+	return r.done()
+}

@@ -1,6 +1,10 @@
 package bpred
 
-import "repro/internal/stats"
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
 
 // Cascaded implements the cascading indirect branch target predictor of
 // Driesen & Hölzle (MICRO-31). A small first-stage table indexed by PC
@@ -35,6 +39,7 @@ func NewCascaded(stage1Entries, stage2Entries int, tagBits, pathBits uint) *Casc
 		m2:       uint64(stage2Entries - 1),
 		tagBits:  tagBits,
 		pathBits: pathBits,
+		Stats:    stats.IndirectStats{Kind: "cascaded"},
 	}
 }
 
@@ -86,6 +91,51 @@ func (c *Cascaded) Update(pc, path, target uint64) {
 		*e = casEntry{tag: c.tag(pc), target: target, valid: true}
 	}
 	c.stage1[i1] = target
+}
+
+// Spec implements Predictor.
+func (c *Cascaded) Spec() string {
+	return fmt.Sprintf("cascaded:%d,%d,%d,%d", len(c.stage1), len(c.stage2), c.tagBits, c.pathBits)
+}
+
+// Counters implements Predictor.
+func (c *Cascaded) Counters() (string, any) { return "Bpred.Indirect", &c.Stats }
+
+// SaveState implements Predictor.
+func (c *Cascaded) SaveState() []byte {
+	var w blobW
+	w.u64(uint64(len(c.stage1)))
+	for _, t := range c.stage1 {
+		w.u64(t)
+	}
+	w.u64(uint64(len(c.stage2)))
+	for _, e := range c.stage2 {
+		w.u16(e.tag)
+		w.u64(e.target)
+		w.bool(e.valid)
+	}
+	return w.finish()
+}
+
+// LoadState implements Predictor.
+func (c *Cascaded) LoadState(blob []byte) error {
+	r, err := openBlob("cascaded", blob)
+	if err != nil {
+		return err
+	}
+	if n := r.u64(); n != uint64(len(c.stage1)) {
+		return fmt.Errorf("cascaded: state has %d stage-1 entries, predictor %d", n, len(c.stage1))
+	}
+	for i := range c.stage1 {
+		c.stage1[i] = r.u64()
+	}
+	if n := r.u64(); n != uint64(len(c.stage2)) {
+		return fmt.Errorf("cascaded: state has %d stage-2 entries, predictor %d", n, len(c.stage2))
+	}
+	for i := range c.stage2 {
+		c.stage2[i] = casEntry{tag: r.u16(), target: r.u64(), valid: r.bool()}
+	}
+	return r.done()
 }
 
 // PushPath mixes a resolved indirect target into a path history register.

@@ -1,0 +1,189 @@
+package bpred
+
+// The predictor registry maps spec strings — "name" or "name:params" —
+// to factories. Everything above this package (cpu.Config, the harness,
+// the cmd flags) selects predictors by spec string only, so shipping a
+// new predictor means writing it here and registering it; no core,
+// checkpoint, or harness changes.
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Default specs used when a config leaves the predictor choice empty.
+const (
+	DefaultDirSpec      = "yags"
+	DefaultIndirectSpec = "cascaded"
+)
+
+// DirFactory builds a direction predictor from the params part of a spec
+// ("" means the predictor's defaults).
+type DirFactory func(params string) (DirPredictor, error)
+
+// IndirectFactory builds an indirect target predictor.
+type IndirectFactory func(params string) (IndirectPredictor, error)
+
+var (
+	dirFactories      = map[string]DirFactory{}
+	indirectFactories = map[string]IndirectFactory{}
+)
+
+// RegisterDir adds a direction predictor under name. It panics on a
+// duplicate — registration happens at init time and a collision is a
+// programming error.
+func RegisterDir(name string, f DirFactory) {
+	if name == "" || f == nil {
+		panic("bpred: RegisterDir: empty name or nil factory")
+	}
+	if _, dup := dirFactories[name]; dup {
+		panic("bpred: RegisterDir: duplicate predictor " + name)
+	}
+	dirFactories[name] = f
+}
+
+// RegisterIndirect adds an indirect predictor under name.
+func RegisterIndirect(name string, f IndirectFactory) {
+	if name == "" || f == nil {
+		panic("bpred: RegisterIndirect: empty name or nil factory")
+	}
+	if _, dup := indirectFactories[name]; dup {
+		panic("bpred: RegisterIndirect: duplicate predictor " + name)
+	}
+	indirectFactories[name] = f
+}
+
+// DirNames returns the registered direction predictor names, sorted.
+func DirNames() []string { return sortedKeys(dirFactories) }
+
+// IndirectNames returns the registered indirect predictor names, sorted.
+func IndirectNames() []string { return sortedKeys(indirectFactories) }
+
+func sortedKeys[V any](m map[string]V) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// SplitSpec separates a predictor spec into name and params. The empty
+// spec resolves to def.
+func SplitSpec(spec, def string) (name, params string) {
+	if spec == "" {
+		spec = def
+	}
+	name, params, _ = strings.Cut(spec, ":")
+	return name, params
+}
+
+// NewDir resolves a direction predictor spec ("" = DefaultDirSpec).
+func NewDir(spec string) (DirPredictor, error) {
+	name, params := SplitSpec(spec, DefaultDirSpec)
+	f, ok := dirFactories[name]
+	if !ok {
+		return nil, fmt.Errorf("bpred: unknown direction predictor %q (registered: %s)",
+			name, strings.Join(DirNames(), ", "))
+	}
+	p, err := f(params)
+	if err != nil {
+		return nil, fmt.Errorf("bpred: %s: %w", name, err)
+	}
+	return p, nil
+}
+
+// NewIndirect resolves an indirect predictor spec ("" = DefaultIndirectSpec).
+func NewIndirect(spec string) (IndirectPredictor, error) {
+	name, params := SplitSpec(spec, DefaultIndirectSpec)
+	f, ok := indirectFactories[name]
+	if !ok {
+		return nil, fmt.Errorf("bpred: unknown indirect predictor %q (registered: %s)",
+			name, strings.Join(IndirectNames(), ", "))
+	}
+	p, err := f(params)
+	if err != nil {
+		return nil, fmt.Errorf("bpred: %s: %w", name, err)
+	}
+	return p, nil
+}
+
+// intParams parses an optional comma-separated integer parameter list,
+// filling missing positions from defaults. Table geometries must be
+// powers of two (the predictors index with masks).
+func intParams(params string, defaults []int) ([]int, error) {
+	out := append([]int(nil), defaults...)
+	if params == "" {
+		return out, nil
+	}
+	parts := strings.Split(params, ",")
+	if len(parts) > len(defaults) {
+		return nil, fmt.Errorf("got %d params, want at most %d", len(parts), len(defaults))
+	}
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("bad param %q: %v", p, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func pow2(name string, v int) error {
+	if v <= 0 || v&(v-1) != 0 {
+		return fmt.Errorf("%s must be a power of two, got %d", name, v)
+	}
+	return nil
+}
+
+func init() {
+	RegisterDir("yags", func(params string) (DirPredictor, error) {
+		p, err := intParams(params, []int{8192, 2048, 6, 12})
+		if err != nil {
+			return nil, err
+		}
+		if err := pow2("choice entries", p[0]); err != nil {
+			return nil, err
+		}
+		if err := pow2("cache entries", p[1]); err != nil {
+			return nil, err
+		}
+		return NewYAGS(p[0], p[1], uint(p[2]), uint(p[3])), nil
+	})
+	RegisterDir("bimodal", func(params string) (DirPredictor, error) {
+		p, err := intParams(params, []int{8192})
+		if err != nil {
+			return nil, err
+		}
+		if err := pow2("entries", p[0]); err != nil {
+			return nil, err
+		}
+		return NewBimodal(p[0]), nil
+	})
+	RegisterDir("gshare", func(params string) (DirPredictor, error) {
+		p, err := intParams(params, []int{8192, 12})
+		if err != nil {
+			return nil, err
+		}
+		if err := pow2("entries", p[0]); err != nil {
+			return nil, err
+		}
+		return NewGShare(p[0], uint(p[1])), nil
+	})
+	RegisterIndirect("cascaded", func(params string) (IndirectPredictor, error) {
+		p, err := intParams(params, []int{256, 512, 8, 10})
+		if err != nil {
+			return nil, err
+		}
+		if err := pow2("stage-1 entries", p[0]); err != nil {
+			return nil, err
+		}
+		if err := pow2("stage-2 entries", p[1]); err != nil {
+			return nil, err
+		}
+		return NewCascaded(p[0], p[1], uint(p[2]), uint(p[3])), nil
+	})
+}

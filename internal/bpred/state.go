@@ -1,102 +1,11 @@
 package bpred
 
-// Checkpointable predictor state. State methods deep-copy out and SetState
-// methods deep-copy in, so one checkpoint can be restored into many
-// predictors concurrently. Stats are not captured: the harness resets all
-// counters at the measurement boundary anyway.
+// Checkpointable RAS state. Predictor tables travel through the opaque
+// Predictor.SaveState/LoadState blobs instead (see blob.go); the RAS is
+// per-thread CPU state, not a registry predictor, so it keeps a typed
+// state struct.
 
 import "fmt"
-
-// YAGSEntryState is one direction-cache entry.
-type YAGSEntryState struct {
-	Tag   uint16
-	Ctr   uint8
-	Valid bool
-}
-
-// YAGSState is the checkpointable state of a YAGS predictor.
-type YAGSState struct {
-	Choice []uint8
-	T, NT  []YAGSEntryState
-}
-
-// State captures the predictor tables.
-func (y *YAGS) State() YAGSState {
-	s := YAGSState{
-		Choice: make([]uint8, len(y.choice)),
-		T:      make([]YAGSEntryState, len(y.t)),
-		NT:     make([]YAGSEntryState, len(y.nt)),
-	}
-	for i, c := range y.choice {
-		s.Choice[i] = uint8(c)
-	}
-	for i, e := range y.t {
-		s.T[i] = YAGSEntryState{Tag: e.tag, Ctr: uint8(e.c), Valid: e.valid}
-	}
-	for i, e := range y.nt {
-		s.NT[i] = YAGSEntryState{Tag: e.tag, Ctr: uint8(e.c), Valid: e.valid}
-	}
-	return s
-}
-
-// SetState restores tables captured from an identically configured YAGS.
-func (y *YAGS) SetState(s YAGSState) error {
-	if len(s.Choice) != len(y.choice) || len(s.T) != len(y.t) || len(s.NT) != len(y.nt) {
-		return fmt.Errorf("yags: state geometry %d/%d/%d does not match predictor %d/%d/%d",
-			len(s.Choice), len(s.T), len(s.NT), len(y.choice), len(y.t), len(y.nt))
-	}
-	for i, c := range s.Choice {
-		y.choice[i] = ctr(c)
-	}
-	for i, e := range s.T {
-		y.t[i] = yagsEntry{tag: e.Tag, c: ctr(e.Ctr), valid: e.Valid}
-	}
-	for i, e := range s.NT {
-		y.nt[i] = yagsEntry{tag: e.Tag, c: ctr(e.Ctr), valid: e.Valid}
-	}
-	return nil
-}
-
-// CascadedEntryState is one tagged second-stage entry.
-type CascadedEntryState struct {
-	Tag    uint16
-	Target uint64
-	Valid  bool
-}
-
-// CascadedState is the checkpointable state of a cascaded indirect
-// predictor.
-type CascadedState struct {
-	Stage1 []uint64
-	Stage2 []CascadedEntryState
-}
-
-// State captures both stages.
-func (c *Cascaded) State() CascadedState {
-	s := CascadedState{
-		Stage1: make([]uint64, len(c.stage1)),
-		Stage2: make([]CascadedEntryState, len(c.stage2)),
-	}
-	copy(s.Stage1, c.stage1)
-	for i, e := range c.stage2 {
-		s.Stage2[i] = CascadedEntryState{Tag: e.tag, Target: e.target, Valid: e.valid}
-	}
-	return s
-}
-
-// SetState restores stages captured from an identically configured
-// predictor.
-func (c *Cascaded) SetState(s CascadedState) error {
-	if len(s.Stage1) != len(c.stage1) || len(s.Stage2) != len(c.stage2) {
-		return fmt.Errorf("cascaded: state geometry %d/%d does not match predictor %d/%d",
-			len(s.Stage1), len(s.Stage2), len(c.stage1), len(c.stage2))
-	}
-	copy(c.stage1, s.Stage1)
-	for i, e := range s.Stage2 {
-		c.stage2[i] = casEntry{tag: e.Tag, target: e.Target, valid: e.Valid}
-	}
-	return nil
-}
 
 // RASStackState is the *full* stack image, unlike RASState's (sp, journal
 // position) speculation-repair checkpoint: a warm checkpoint must

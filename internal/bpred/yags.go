@@ -1,6 +1,10 @@
 package bpred
 
-import "repro/internal/stats"
+import (
+	"fmt"
+
+	"repro/internal/stats"
+)
 
 // YAGS (Eden & Mudge, MICRO-31) splits a choice bimodal table from two
 // small tagged "direction caches". The choice table records each branch's
@@ -43,6 +47,7 @@ func NewYAGS(choiceEntries, cacheEntries int, tagBits, histBits uint) *YAGS {
 	for i := range y.choice {
 		y.choice[i] = 2
 	}
+	y.Stats.Kind = "yags"
 	return y
 }
 
@@ -112,4 +117,62 @@ func (y *YAGS) Update(pc, hist uint64, taken bool) {
 	if !(hit && e.c.taken() == taken && taken != bias) {
 		y.choice[ci] = train(y.choice[ci], taken)
 	}
+}
+
+// Spec implements Predictor.
+func (y *YAGS) Spec() string {
+	return fmt.Sprintf("yags:%d,%d,%d,%d", len(y.choice), len(y.t), y.tagBits, y.histBits)
+}
+
+// Counters implements Predictor.
+func (y *YAGS) Counters() (string, any) { return "Bpred.YAGS", &y.Stats }
+
+// SaveState implements Predictor.
+func (y *YAGS) SaveState() []byte {
+	var w blobW
+	w.u64(uint64(len(y.choice)))
+	for _, c := range y.choice {
+		w.u8(uint8(c))
+	}
+	saveYAGSEntries := func(entries []yagsEntry) {
+		w.u64(uint64(len(entries)))
+		for _, e := range entries {
+			w.u16(e.tag)
+			w.u8(uint8(e.c))
+			w.bool(e.valid)
+		}
+	}
+	saveYAGSEntries(y.t)
+	saveYAGSEntries(y.nt)
+	return w.finish()
+}
+
+// LoadState implements Predictor.
+func (y *YAGS) LoadState(blob []byte) error {
+	r, err := openBlob("yags", blob)
+	if err != nil {
+		return err
+	}
+	if n := r.u64(); n != uint64(len(y.choice)) {
+		return fmt.Errorf("yags: state has %d choice entries, predictor %d", n, len(y.choice))
+	}
+	for i := range y.choice {
+		y.choice[i] = ctr(r.u8())
+	}
+	loadYAGSEntries := func(entries []yagsEntry) error {
+		if n := r.u64(); n != uint64(len(entries)) {
+			return fmt.Errorf("yags: state has %d cache entries, predictor %d", n, len(entries))
+		}
+		for i := range entries {
+			entries[i] = yagsEntry{tag: r.u16(), c: ctr(r.u8()), valid: r.bool()}
+		}
+		return nil
+	}
+	if err := loadYAGSEntries(y.t); err != nil {
+		return err
+	}
+	if err := loadYAGSEntries(y.nt); err != nil {
+		return err
+	}
+	return r.done()
 }

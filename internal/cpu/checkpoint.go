@@ -62,9 +62,13 @@ type Checkpoint struct {
 	// index-aligned with the core's contexts (main first).
 	ThreadRAS []bpred.RASStackState
 
-	// Predictors.
-	YAGS     bpred.YAGSState
-	Indirect bpred.CascadedState
+	// Predictors, as opaque self-describing sections: the spec identifies
+	// the predictor (and must match the restoring config's choice), the
+	// blob is its SaveState output. The codec and this struct know nothing
+	// about any predictor's layout — a new predictor checkpoints without
+	// touching either.
+	Dir      PredState
+	Indirect PredState
 	// Conf is the fork-confidence table; nil when the core had no slice
 	// hardware.
 	Conf []uint8
@@ -82,6 +86,31 @@ type Checkpoint struct {
 
 	// Mem is the copy-on-write memory snapshot.
 	Mem *mem.Snapshot
+}
+
+// PredState is one predictor's checkpoint section: its canonical spec
+// plus its opaque SaveState blob (which carries its own CRC trailer).
+type PredState struct {
+	Spec string
+	Blob []byte
+}
+
+func capturePred(p bpred.Predictor) PredState {
+	return PredState{Spec: p.Spec(), Blob: p.SaveState()}
+}
+
+// restorePred loads one predictor section into the core's constructed
+// predictor, refusing a spec mismatch: a checkpoint warmed under one
+// predictor must never leak into a run configured for another.
+func restorePred(p bpred.Predictor, st PredState, kind string) error {
+	if st.Spec != p.Spec() {
+		return fmt.Errorf("cpu: restore: checkpoint %s predictor %q does not match configured %q",
+			kind, st.Spec, p.Spec())
+	}
+	if err := p.LoadState(st.Blob); err != nil {
+		return fmt.Errorf("cpu: restore: %w", err)
+	}
+	return nil
 }
 
 // quiesceGuard bounds the drain loop; a pipeline that cannot drain within
@@ -155,8 +184,8 @@ func (c *Core) Checkpoint() (*Checkpoint, error) {
 		Hist:         c.main.Hist,
 		Path:         c.main.Path,
 		ICStallUntil: c.main.icStallUntil,
-		YAGS:         c.yags.State(),
-		Indirect:     c.indirect.State(),
+		Dir:          capturePred(c.dir),
+		Indirect:     capturePred(c.indirect),
 		L1D:          c.hier.L1D.State(),
 		L1I:          c.hier.L1I.State(),
 		L2:           c.hier.L2.State(),
@@ -227,10 +256,10 @@ func Restore(cfg Config, image *asm.Image, ck *Checkpoint, sliceTable *slicehw.T
 		}
 	}
 
-	if err := c.yags.SetState(ck.YAGS); err != nil {
+	if err := restorePred(c.dir, ck.Dir, "direction"); err != nil {
 		return nil, err
 	}
-	if err := c.indirect.SetState(ck.Indirect); err != nil {
+	if err := restorePred(c.indirect, ck.Indirect, "indirect"); err != nil {
 		return nil, err
 	}
 	if ck.Conf != nil {
@@ -286,9 +315,10 @@ func Restore(cfg Config, image *asm.Image, ck *Checkpoint, sliceTable *slicehw.T
 //
 // Everything else is warm-relevant: structural sizes fix the state arrays
 // (and are latched at New), latencies and policies shape every cache/
-// predictor update during warm, and SlicePredictionsOff changes which
-// correlator state accumulates — so it stays in the key even though it is
-// read dynamically.
+// predictor update during warm, SlicePredictionsOff changes which
+// correlator state accumulates, and BPred/IndirectPred select which
+// predictor's tables the warm region trains — so they stay in the key
+// even where they are read dynamically.
 func (c Config) WarmConfig() Config {
 	w := c
 	w.Name = ""

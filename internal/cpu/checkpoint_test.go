@@ -160,6 +160,35 @@ func TestWarmConfigFingerprint(t *testing.T) {
 	}
 }
 
+// TestRestorePredictorMismatch: a checkpoint warmed under one predictor
+// must never restore into a core configured for another — neither a
+// different predictor kind nor the same kind at a different geometry.
+func TestRestorePredictorMismatch(t *testing.T) {
+	w := workloads.VPR()
+	c := MustNew(Config4Wide(), w.Image, w.NewMemory(), w.Entry, nil)
+	c.Run(10_000)
+	ck, err := c.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range []string{"bimodal", "value", "yags:4096,1024,6,12"} {
+		bad := Config4Wide()
+		bad.BPred = spec
+		if _, err := Restore(bad, w.Image, ck, nil); err == nil {
+			t.Errorf("restore under -bpred=%s accepted a yags checkpoint", spec)
+		}
+	}
+	bad := Config4Wide()
+	bad.IndirectPred = "cascaded:128,256,8,10"
+	if _, err := Restore(bad, w.Image, ck, nil); err == nil {
+		t.Error("restore under a resized indirect predictor accepted the checkpoint")
+	}
+	// Sanity: the unmodified config still restores.
+	if _, err := Restore(Config4Wide(), w.Image, ck, nil); err != nil {
+		t.Errorf("restore under the original config failed: %v", err)
+	}
+}
+
 // TestRestoreGeometryMismatch: structural config changes must be rejected.
 func TestRestoreGeometryMismatch(t *testing.T) {
 	w := workloads.VPR()

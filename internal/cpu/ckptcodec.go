@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"sort"
 
 	"repro/internal/bpred"
@@ -43,21 +44,8 @@ func (ck *Checkpoint) EncodeBinary() []byte {
 		w.u64(uint64(rs.SP))
 	}
 
-	w.u64(uint64(len(ck.YAGS.Choice)))
-	w.b = append(w.b, ck.YAGS.Choice...)
-	encodeYAGSEntries(&w, ck.YAGS.T)
-	encodeYAGSEntries(&w, ck.YAGS.NT)
-
-	w.u64(uint64(len(ck.Indirect.Stage1)))
-	for _, v := range ck.Indirect.Stage1 {
-		w.u64(v)
-	}
-	w.u64(uint64(len(ck.Indirect.Stage2)))
-	for _, e := range ck.Indirect.Stage2 {
-		w.u16(e.Tag)
-		w.u64(e.Target)
-		w.bool(e.Valid)
-	}
+	encodePredSection(&w, ck.Dir)
+	encodePredSection(&w, ck.Indirect)
 
 	w.bool(ck.Conf != nil)
 	if ck.Conf != nil {
@@ -159,20 +147,8 @@ func DecodeCheckpoint(b []byte) (*Checkpoint, error) {
 		ck.ThreadRAS = append(ck.ThreadRAS, rs)
 	}
 
-	ck.YAGS.Choice = r.bytes()
-	ck.YAGS.T = decodeYAGSEntries(&r)
-	ck.YAGS.NT = decodeYAGSEntries(&r)
-
-	n1 := r.count(8)
-	for i := uint64(0); i < n1 && r.err == nil; i++ {
-		ck.Indirect.Stage1 = append(ck.Indirect.Stage1, r.u64())
-	}
-	n2 := r.count(11)
-	for i := uint64(0); i < n2 && r.err == nil; i++ {
-		ck.Indirect.Stage2 = append(ck.Indirect.Stage2, bpred.CascadedEntryState{
-			Tag: r.u16(), Target: r.u64(), Valid: r.bool(),
-		})
-	}
+	ck.Dir = decodePredSection(&r)
+	ck.Indirect = decodePredSection(&r)
 
 	if r.bool() {
 		ck.Conf = r.bytes()
@@ -252,22 +228,46 @@ func DecodeCheckpoint(b []byte) (*Checkpoint, error) {
 	return ck, nil
 }
 
-func encodeYAGSEntries(w *wbuf, es []bpred.YAGSEntryState) {
-	w.u64(uint64(len(es)))
-	for _, e := range es {
-		w.u16(e.Tag)
-		w.b = append(w.b, e.Ctr)
-		w.bool(e.Valid)
-	}
+// encodePredSection writes one length-prefixed, CRC-guarded predictor
+// section: the predictor's spec string and its opaque state blob. The
+// container knows no predictor layout — any registered predictor's state
+// travels through here unchanged — and the section CRC (covering spec +
+// blob) catches a flipped byte even before the blob's own trailer does.
+func encodePredSection(w *wbuf, s PredState) {
+	var body wbuf
+	body.u64(uint64(len(s.Spec)))
+	body.b = append(body.b, s.Spec...)
+	body.u64(uint64(len(s.Blob)))
+	body.b = append(body.b, s.Blob...)
+	w.u64(uint64(len(body.b)))
+	w.u32(crc32.ChecksumIEEE(body.b))
+	w.b = append(w.b, body.b...)
 }
 
-func decodeYAGSEntries(r *rbuf) []bpred.YAGSEntryState {
-	n := r.count(4)
-	var es []bpred.YAGSEntryState
-	for i := uint64(0); i < n && r.err == nil; i++ {
-		es = append(es, bpred.YAGSEntryState{Tag: r.u16(), Ctr: r.u8(), Valid: r.bool()})
+func decodePredSection(r *rbuf) PredState {
+	n := r.count(1)
+	want := r.u32()
+	if r.err != nil {
+		return PredState{}
 	}
-	return es
+	if uint64(len(r.b)) < n {
+		r.fail()
+		return PredState{}
+	}
+	body := r.b[:n]
+	r.b = r.b[n:]
+	if crc32.ChecksumIEEE(body) != want {
+		r.err = errors.New("cpu: corrupt checkpoint: predictor section CRC mismatch")
+		return PredState{}
+	}
+	br := rbuf{b: body}
+	spec := br.bytes()
+	blob := br.bytes()
+	if br.err != nil || len(br.b) != 0 {
+		r.err = errors.New("cpu: corrupt checkpoint: malformed predictor section")
+		return PredState{}
+	}
+	return PredState{Spec: string(spec), Blob: blob}
 }
 
 func encodeCacheState(w *wbuf, s cache.CacheState) {
@@ -318,6 +318,7 @@ func decodeInts(r *rbuf) []int {
 type wbuf struct{ b []byte }
 
 func (w *wbuf) u64(v uint64) { w.b = binary.LittleEndian.AppendUint64(w.b, v) }
+func (w *wbuf) u32(v uint32) { w.b = binary.LittleEndian.AppendUint32(w.b, v) }
 func (w *wbuf) u16(v uint16) { w.b = binary.LittleEndian.AppendUint16(w.b, v) }
 func (w *wbuf) bool(v bool) {
 	if v {
@@ -343,6 +344,16 @@ func (r *rbuf) u64() uint64 {
 	}
 	v := binary.LittleEndian.Uint64(r.b)
 	r.b = r.b[8:]
+	return v
+}
+
+func (r *rbuf) u32() uint32 {
+	if r.err != nil || len(r.b) < 4 {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b)
+	r.b = r.b[4:]
 	return v
 }
 

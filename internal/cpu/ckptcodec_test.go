@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/bpred"
 	"repro/internal/workloads"
 )
 
@@ -12,11 +13,15 @@ import (
 // slices, so the correlator state is populated too).
 func makeCheckpoint(t *testing.T) *Checkpoint {
 	t.Helper()
+	return makeCheckpointCfg(t, Config4Wide())
+}
+
+func makeCheckpointCfg(t *testing.T, cfg Config) *Checkpoint {
+	t.Helper()
 	w, err := workloads.ByName("vpr")
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := Config4Wide()
 	c := MustNew(cfg.WarmConfig(), w.Image, w.NewMemory(), w.Entry, w.SliceTable())
 	c.Run(20_000)
 	ck, err := c.Checkpoint()
@@ -104,5 +109,51 @@ func TestCodecTruncation(t *testing.T) {
 	// Trailing garbage is also an error, not silently ignored.
 	if _, err := DecodeCheckpoint(append(append([]byte{}, enc...), 0xAB)); err == nil {
 		t.Error("decoding with trailing garbage succeeded")
+	}
+}
+
+// TestCodecRoundTripEveryPredictor: the predictor sections are opaque to
+// the codec, so a checkpoint warmed under any registered direction
+// predictor must round-trip byte-identically — this is what lets a new
+// predictor land without touching the codec.
+func TestCodecRoundTripEveryPredictor(t *testing.T) {
+	for _, name := range bpred.DirNames() {
+		cfg := Config4Wide()
+		cfg.BPred = name
+		ck := makeCheckpointCfg(t, cfg)
+		enc := ck.EncodeBinary()
+		dec, err := DecodeCheckpoint(enc)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if dec.Dir.Spec != ck.Dir.Spec || !bytes.Equal(dec.Dir.Blob, ck.Dir.Blob) {
+			t.Errorf("%s: direction predictor section did not round-trip", name)
+		}
+		if dec.Indirect.Spec != ck.Indirect.Spec || !bytes.Equal(dec.Indirect.Blob, ck.Indirect.Blob) {
+			t.Errorf("%s: indirect predictor section did not round-trip", name)
+		}
+		if !bytes.Equal(dec.EncodeBinary(), enc) {
+			t.Errorf("%s: re-encoding changed the bytes", name)
+		}
+	}
+}
+
+// TestCodecPredictorSectionCorruption: a flipped byte anywhere in a
+// predictor section (spec or blob) must fail the decode — the section CRC
+// guards the container even before the blob's own trailer is checked.
+func TestCodecPredictorSectionCorruption(t *testing.T) {
+	ck := makeCheckpoint(t)
+	enc := ck.EncodeBinary()
+	start := bytes.Index(enc, []byte(ck.Dir.Spec))
+	if start < 0 {
+		t.Fatal("direction predictor spec not found in the encoding")
+	}
+	end := start + len(ck.Dir.Spec) + 8 + len(ck.Dir.Blob)
+	for off := start; off < end; off += 13 {
+		bad := append([]byte(nil), enc...)
+		bad[off] ^= 0x01
+		if _, err := DecodeCheckpoint(bad); err == nil {
+			t.Fatalf("flipped byte at offset %d (section %d..%d) not detected", off, start, end)
+		}
 	}
 }

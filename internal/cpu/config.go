@@ -109,6 +109,17 @@ type Config struct {
 	// the expense of additional hardware". Function units stay shared.
 	DedicatedSliceResources bool
 
+	// BPred selects the direction predictor by registry spec —
+	// "name" or "name:params", e.g. "yags", "value", "gshare:4096,10"
+	// (see internal/bpred; "" means the default YAGS). The choice is part
+	// of the config fingerprint and of warm-up state, so runs under
+	// different predictors never share engine memo entries or warm
+	// checkpoints.
+	BPred string
+	// IndirectPred selects the indirect target predictor the same way
+	// ("" means the default cascaded predictor).
+	IndirectPred string
+
 	Perfect Perfect
 
 	// MaxCycles is a runaway guard for Run.

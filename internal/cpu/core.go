@@ -18,8 +18,14 @@ type Core struct {
 	image *asm.Image
 	hier  *cache.Hierarchy
 
-	yags     *bpred.YAGS
-	indirect *bpred.Cascaded
+	// The prediction seam: the core talks to the direction and indirect
+	// predictors only through the bpred interfaces, so any registered
+	// predictor plugs in via Config.BPred/IndirectPred. dirPrime and
+	// dirVal cache the optional-hook type asserts off the hot path.
+	dir      bpred.DirPredictor
+	indirect bpred.IndirectPredictor
+	dirPrime bpred.OutcomePrimed // non-nil if dir wants the actual outcome pre-Predict
+	dirVal   bpred.ValueObserver // non-nil if dir learns from tested values at retire
 
 	threads []*Thread
 	main    *Thread
@@ -95,15 +101,25 @@ func New(cfg Config, image *asm.Image, memory *mem.Memory, entry uint64, sliceTa
 	if _, ok := image.At(entry); !ok {
 		return nil, fmt.Errorf("cpu: entry %#x is not in the image", entry)
 	}
+	dir, err := bpred.NewDir(cfg.BPred)
+	if err != nil {
+		return nil, fmt.Errorf("cpu: %w", err)
+	}
+	indirect, err := bpred.NewIndirect(cfg.IndirectPred)
+	if err != nil {
+		return nil, fmt.Errorf("cpu: %w", err)
+	}
 	c := &Core{
 		Cfg:      cfg,
 		mem:      memory,
 		image:    image,
 		hier:     cache.NewHierarchy(cfg.Mem),
-		yags:     bpred.DefaultYAGS(),
-		indirect: bpred.DefaultCascaded(),
+		dir:      dir,
+		indirect: indirect,
 		S:        stats.New(),
 	}
+	c.dirPrime, _ = dir.(bpred.OutcomePrimed)
+	c.dirVal, _ = dir.(bpred.ValueObserver)
 	if sliceTable != nil {
 		c.sliceTable = sliceTable
 		c.corr = slicehw.NewCorrelator(cfg.PredQueueDepth)
@@ -139,8 +155,14 @@ func New(cfg Config, image *asm.Image, memory *mem.Memory, entry uint64, sliceTa
 	c.registry.Register("L1I", c.hier.L1I.Counters())
 	c.registry.Register("L2", c.hier.L2.Counters())
 	c.registry.Register("PVB", c.hier.PVB.Counters())
-	c.registry.Register("Bpred.YAGS", &c.yags.Stats)
-	c.registry.Register("Bpred.Indirect", &c.indirect.Stats)
+	// Each predictor names its own Snapshot section; an Oracle-style
+	// predictor with no counters returns ("", nil) and registers nothing.
+	if field, ptr := c.dir.Counters(); field != "" {
+		c.registry.Register(field, ptr)
+	}
+	if field, ptr := c.indirect.Counters(); field != "" {
+		c.registry.Register(field, ptr)
+	}
 	c.registry.Register("Bpred.RAS", &c.main.RAS.Stats)
 	if c.corr != nil {
 		c.registry.Register("Corr", &c.corr.Stats)

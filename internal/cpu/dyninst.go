@@ -33,6 +33,11 @@ type DynInst struct {
 	// made with (for training at retire).
 	HistBefore uint64
 	PathBefore uint64
+	// CondVal is the value a main-thread conditional branch tested,
+	// captured at fetch for value-predictor training at retire. Written
+	// and read only when the direction predictor observes values
+	// (Core.dirVal != nil), so it needs no pool scrub.
+	CondVal uint64
 	// Checkpoints of the speculative front-end state *after* this
 	// instruction, restored when a squash rewinds to it.
 	HistAfter uint64

@@ -330,7 +330,19 @@ func (c *Core) predictCtrl(t *Thread, di *DynInst) uint64 {
 		case t.IsMain && c.Cfg.Perfect.CoversBranch(pc):
 			pred = actual
 		case t.IsMain:
-			fallback := c.yags.Predict(pc, t.Hist)
+			if c.dirPrime != nil {
+				// Perfect-style predictors see the actual outcome the
+				// execute-at-fetch core already knows.
+				c.dirPrime.PrimeOutcome(actual)
+			}
+			if c.dirVal != nil {
+				// Capture the value the branch tested for retirement-time
+				// value training. CondVal needs no pool scrub: it is read at
+				// retire only when dirVal is set, under which it is always
+				// written here first.
+				di.CondVal = t.Regs[in.Ra]
+			}
+			fallback := c.dir.Predict(pc, t.Hist)
 			pred = fallback
 			if c.corr != nil {
 				p, dir, override := c.corr.Lookup(pc, fallback, di)

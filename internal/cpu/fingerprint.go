@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/bpred"
 )
 
 // Fingerprint returns a stable, order-independent serialization of every
@@ -23,12 +25,30 @@ func (c Config) Fingerprint() string {
 	fmt.Fprintf(&b, " predsOff=%t confGate=%t confThr=%d dedicated=%t maxCyc=%d",
 		c.SlicePredictionsOff, c.ConfidenceGatedForks, c.ConfidenceThreshold,
 		c.DedicatedSliceResources, c.MaxCycles)
+	// Predictor specs are normalized so "" and the explicit default name
+	// fingerprint identically; %q guards against separator characters in
+	// param lists (e.g. a perfect predictor's PC list).
+	fmt.Fprintf(&b, " bpred=%q ipred=%q",
+		normalizeSpec(c.BPred, bpred.DefaultDirSpec),
+		normalizeSpec(c.IndirectPred, bpred.DefaultIndirectSpec))
 	// cache.Params is a flat struct of scalars; %+v is deterministic.
 	fmt.Fprintf(&b, " mem={%+v}", c.Mem)
 	fmt.Fprintf(&b, " perfect={allBr=%t allLd=%t br=%s ld=%s}",
 		c.Perfect.AllBranches, c.Perfect.AllLoads,
 		sortedPCs(c.Perfect.BranchPCs), sortedPCs(c.Perfect.LoadPCs))
 	return b.String()
+}
+
+// normalizeSpec maps the empty spec onto the default predictor name so a
+// config that spells the default out ("yags") and one that leaves it
+// empty share a fingerprint. Distinct param spellings of one geometry
+// ("yags" vs "yags:8192,2048,6,12") fingerprint apart — conservative for
+// memoization, never wrong.
+func normalizeSpec(spec, def string) string {
+	if spec == "" {
+		return def
+	}
+	return spec
 }
 
 func sortedPCs(set map[uint64]bool) string {

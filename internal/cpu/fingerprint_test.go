@@ -38,6 +38,9 @@ func TestFingerprintDistinguishes(t *testing.T) {
 		"allBranches": func(c *Config) { c.Perfect.AllBranches = true },
 		"branchPCs":   func(c *Config) { c.Perfect.BranchPCs = map[uint64]bool{0x1234: true} },
 		"loadPCs":     func(c *Config) { c.Perfect.LoadPCs = map[uint64]bool{0x1234: true} },
+		"bpred":       func(c *Config) { c.BPred = "value" },
+		"bpredParams": func(c *Config) { c.BPred = "yags:4096,1024,6,12" },
+		"ipred":       func(c *Config) { c.IndirectPred = "cascaded:128,256,8,10" },
 	}
 	for name, mutate := range mutations {
 		c := Config4Wide()
@@ -48,5 +51,26 @@ func TestFingerprintDistinguishes(t *testing.T) {
 	}
 	if Config4Wide().Fingerprint() == Config8Wide().Fingerprint() {
 		t.Error("4-wide and 8-wide fingerprint identically")
+	}
+}
+
+// TestFingerprintPredictorNormalization: leaving the predictor spec empty
+// and spelling out the default name are the same configuration and must
+// share memo entries and warm checkpoints.
+func TestFingerprintPredictorNormalization(t *testing.T) {
+	a, b := Config4Wide(), Config4Wide()
+	b.BPred, b.IndirectPred = "yags", "cascaded"
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("empty predictor spec fingerprints differently than the default name")
+	}
+	if a.WarmFingerprint() != b.WarmFingerprint() {
+		t.Error("empty predictor spec warm-fingerprints differently than the default name")
+	}
+	// The predictor choice is warm-relevant: different predictors must
+	// never share a warm checkpoint.
+	c := Config4Wide()
+	c.BPred = "value"
+	if c.WarmFingerprint() == a.WarmFingerprint() {
+		t.Error("predictor choice missing from the warm fingerprint")
 	}
 }

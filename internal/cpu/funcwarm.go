@@ -136,7 +136,20 @@ func functionalWarm(cfg Config, image *asm.Image, memory *mem.Memory, entry uint
 
 		switch {
 		case op.IsCondBranch():
-			c.yags.Update(pc, t.Hist, out.Taken)
+			// Mirror the detailed retire path: value-observing predictors see
+			// the tested value first, then the direction update. The interp
+			// engine shares t.Regs; the compiled machine keeps its own file,
+			// so read the register back through it.
+			if c.dirVal != nil {
+				if in, ok := image.At(pc); ok {
+					v := t.Regs[in.Ra]
+					if ma != nil {
+						v = ma.Reg(in.Ra)
+					}
+					c.dirVal.ObserveValue(pc, condOf(op), v)
+				}
+			}
+			c.dir.Update(pc, t.Hist, out.Taken)
 			t.Hist = pushHist(t.Hist, out.Taken)
 		case op == isa.JMP || op == isa.CALLR:
 			c.indirect.Update(pc, t.Path, out.Target)

@@ -1,6 +1,7 @@
 package cpu
 
 import (
+	"repro/internal/bpred"
 	"repro/internal/isa"
 	"repro/internal/stats"
 )
@@ -109,9 +110,14 @@ func (c *Core) retireInst(di *DynInst) {
 		if c.conf != nil {
 			c.conf.observe(pc, di.Mispredicted)
 		}
-		// Train the conventional predictor with the true history.
+		// Train the conventional predictor with the true history. Value
+		// observation comes first, mirroring program order: the source
+		// value existed before the outcome resolved.
 		if !c.Cfg.Perfect.CoversBranch(pc) {
-			c.yags.Update(pc, di.HistBefore, di.Out.Taken)
+			if c.dirVal != nil {
+				c.dirVal.ObserveValue(pc, condOf(in.Op), di.CondVal)
+			}
+			c.dir.Update(pc, di.HistBefore, di.Out.Taken)
 		}
 		// Slice-prediction accounting (Table 4).
 		if di.UsedPred != nil && di.UsedOverride {
@@ -152,4 +158,24 @@ func (c *Core) retireInst(di *DynInst) {
 		c.dropRetiredStore(di)
 	}
 	c.releaseRetired(di)
+}
+
+// condOf maps a conditional-branch opcode onto the bpred condition enum
+// (value predictors evaluate predicted source values through it).
+func condOf(op isa.Op) bpred.Cond {
+	switch op {
+	case isa.BEQ:
+		return bpred.CondEQ
+	case isa.BNE:
+		return bpred.CondNE
+	case isa.BLT:
+		return bpred.CondLT
+	case isa.BLE:
+		return bpred.CondLE
+	case isa.BGT:
+		return bpred.CondGT
+	case isa.BGE:
+		return bpred.CondGE
+	}
+	return bpred.CondNone
 }

@@ -265,7 +265,10 @@ const ckptMagic = "SPECSLCK"
 // ckptSchemaVersion versions the container *and* the payload encoding.
 // Bump it whenever cpu.Checkpoint or its binary codec changes shape, so
 // stale caches from older builds are rebuilt instead of misdecoded.
-const ckptSchemaVersion = 1
+//
+// v2: the hand-coded YAGS/cascaded predictor tables were replaced by
+// opaque self-describing predictor sections (spec + SaveState blob).
+const ckptSchemaVersion = 2
 
 func ckptPath(dir, key string) string {
 	sum := sha256.Sum256([]byte(key))

@@ -253,6 +253,12 @@ func (e *Engine) mustRunAll(specs []RunSpec) []*RunResult {
 // perfect modes beyond what cfg already carries.
 func (e *Engine) baseSpec(w *workloads.Workload, cfg cpu.Config) RunSpec {
 	warm, run := e.Params.regions(w)
+	if cfg.BPred == "" {
+		cfg.BPred = e.Params.BPred
+	}
+	if cfg.IndirectPred == "" {
+		cfg.IndirectPred = e.Params.IndirectPred
+	}
 	return RunSpec{Workload: w.Name, Cfg: cfg, Warm: warm, Run: run}
 }
 

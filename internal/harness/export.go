@@ -9,7 +9,13 @@ import "repro/internal/workloads"
 // v2: engine block gained warm-checkpoint observability (warmHits,
 // warmMisses, restores, diskLoads, diskStores, diskBytes), and simInsts
 // stopped double-counting warm regions served from the checkpoint cache.
-const ExportSchema = "specslice-experiments/2"
+//
+// v3: added figurePred, the predictor-stack comparison (slices vs value
+// prediction vs correlation mining vs perfect on the problem branches).
+// Purely additive: every v2 field is unchanged, so a v2 reader that
+// ignores unknown fields parses v3 documents, and a v3 reader sees an
+// empty figurePred in v2 documents.
+const ExportSchema = "specslice-experiments/3"
 
 // Export is the whole evaluation — every table and figure of the paper —
 // as one machine-readable document, the JSON counterpart of the formatted
@@ -25,7 +31,9 @@ type Export struct {
 	Table3    []Table3Row   `json:"table3"`
 	Figure11  []Figure11Row `json:"figure11"`
 	Table4    []Table4Col   `json:"table4"`
-	Engine    ExportEngine  `json:"engine"`
+	// FigurePred is the predictor-stack comparison (schema v3).
+	FigurePred []FigurePredRow `json:"figurePred"`
+	Engine     ExportEngine    `json:"engine"`
 }
 
 // ExportEngine summarizes the run that produced the document.
@@ -62,6 +70,7 @@ func (e *Engine) Export(ws []*workloads.Workload) Export {
 	doc.Table3 = Table3(ws)
 	doc.Figure11 = e.Figure11(ws)
 	doc.Table4 = e.Table4(ws)
+	doc.FigurePred = e.FigurePred(ws)
 	st := e.Stats()
 	doc.Engine = ExportEngine{
 		Simulations: st.Misses,

@@ -9,7 +9,7 @@ import (
 )
 
 // TestExportDocumentGolden locks the shape and content of the -json
-// document (schema specslice-experiments/1). Simulations are pure
+// document (schema ExportSchema). Simulations are pure
 // functions of their specs, so at a fixed scale the document is
 // deterministic except for wall time, which is zeroed before comparison.
 // Regenerate with -update after an intentional simulator change.
@@ -63,11 +63,12 @@ func TestExportDocumentShape(t *testing.T) {
 		t.Error("table1 text missing")
 	}
 	for name, n := range map[string]int{
-		"table2":   len(doc.Table2),
-		"figure1":  len(doc.Figure1),
-		"table3":   len(doc.Table3),
-		"figure11": len(doc.Figure11),
-		"table4":   len(doc.Table4),
+		"table2":     len(doc.Table2),
+		"figure1":    len(doc.Figure1),
+		"table3":     len(doc.Table3),
+		"figure11":   len(doc.Figure11),
+		"table4":     len(doc.Table4),
+		"figurePred": len(doc.FigurePred),
 	} {
 		if n != len(ws) {
 			t.Errorf("%s has %d rows, want %d", name, n, len(ws))
@@ -93,5 +94,29 @@ func TestExportDocumentShape(t *testing.T) {
 	}
 	if !bytes.Equal(b, b2) {
 		t.Error("export document does not round-trip through JSON")
+	}
+}
+
+// TestExportReaderToleratesV2 locks the schema migration path: v3 is
+// purely additive, so this package's Export struct must parse a stored
+// v2 document, with figurePred simply absent.
+func TestExportReaderToleratesV2(t *testing.T) {
+	b, err := os.ReadFile(filepath.Join("testdata", "export_vpr.v2.golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc Export
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("v3 reader failed on a v2 document: %v", err)
+	}
+	if doc.Schema != "specslice-experiments/2" {
+		t.Errorf("schema = %q, want the stored v2 tag", doc.Schema)
+	}
+	if doc.FigurePred != nil {
+		t.Errorf("v2 document produced %d figurePred rows, want none", len(doc.FigurePred))
+	}
+	if len(doc.Table2) == 0 || len(doc.Figure11) == 0 || len(doc.Table4) == 0 ||
+		doc.Engine.Simulations == 0 {
+		t.Error("v2 fields did not survive the v3 reader")
 	}
 }

@@ -180,6 +180,27 @@ func FormatTable4(cols []Table4Col) string {
 	return sb.String()
 }
 
+// FormatFigurePred renders the predictor-stack comparison: per workload,
+// problem-branch mispredictions (per 1000 problem-branch executions, with
+// whole-run IPC) under each selectable predictor and under slices.
+func FormatFigurePred(rows []FigurePredRow) string {
+	var sb strings.Builder
+	sb.WriteString("Figure P. Problem-branch mispredictions under the prediction stack (4-wide).\n")
+	sb.WriteString(table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "program\t#SI\texecs\tyags\tslices\tvalue\tcorrmine\tperfect")
+		leg := func(l FigurePredLeg) string {
+			return fmt.Sprintf("%s (%s)", fnum("%.1f", l.ProbMispPerK), fnum("%.2f", l.IPC))
+		}
+		for _, r := range rows {
+			fmt.Fprintf(w, "%s\t%d\t%d\t%s\t%s\t%s\t%s\t%s\n",
+				r.Program, r.ProbBranches, r.ProbExecs,
+				leg(r.Base), leg(r.Slices), leg(r.Value), leg(r.CorrMine), leg(r.Perfect))
+		}
+		fmt.Fprintln(w, "(cells: problem-branch mispredicts per 1000 executions, whole-run IPC in parentheses)")
+	}))
+	return sb.String()
+}
+
 // FormatTable1 renders the machine parameters (Table 1) of a config.
 func FormatTable1() string {
 	return `Table 1. Simulated machine parameters.

@@ -19,6 +19,14 @@ type Params struct {
 	// Scale multiplies each workload's suggested warm-up and measurement
 	// regions (1.0 = the defaults; benchmarks use smaller values).
 	Scale float64
+
+	// BPred and IndirectPred, when non-empty, select the direction /
+	// indirect predictor (by registry spec, e.g. "gshare:4096,10") for
+	// every driver-built configuration that does not pin one itself.
+	// Drivers that compare predictors (FigurePred) pin their non-baseline
+	// legs explicitly, so the override only moves the baseline.
+	BPred        string
+	IndirectPred string
 }
 
 // Region floors: below these lengths the caches and predictors never leave

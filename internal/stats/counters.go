@@ -53,6 +53,7 @@ type CorrStats struct {
 // YAGSStats counts direction-predictor events: which structure supplied
 // each prediction and how the tagged direction caches behave.
 type YAGSStats struct {
+	Kind           string `stats:"id"` // registry name of the predictor
 	Lookups        uint64 // direction predictions requested
 	ChoiceUsed     uint64 // the bias (choice) table supplied the prediction
 	CacheHits      uint64 // a tagged direction-cache entry supplied it
@@ -63,6 +64,7 @@ type YAGSStats struct {
 
 // IndirectStats counts cascading indirect-predictor events.
 type IndirectStats struct {
+	Kind          string `stats:"id"` // registry name of the predictor
 	Lookups       uint64 // target predictions requested
 	Stage2Hits    uint64 // tagged history-indexed entry supplied the target
 	Stage2Aliased uint64 // stage-2 slot held a different branch's entry
@@ -81,9 +83,52 @@ type RASStats struct {
 	Underflows uint64 // pops from a logically empty stack
 }
 
-// BpredStats groups the baseline front-end predictors' counters.
+// DirStats counts events for the single-table direction baselines
+// (bimodal, gshare).
+type DirStats struct {
+	Kind         string `stats:"id"` // registry name of the predictor
+	Lookups      uint64 // direction predictions requested
+	UpdateMisses uint64 // updates where the table disagreed with the outcome
+}
+
+// ValuePredStats counts value-predictor events: how often the value path
+// was confident enough to supply the direction.
+type ValuePredStats struct {
+	Kind         string `stats:"id"` // registry name of the predictor
+	Lookups      uint64 // direction predictions requested
+	ValueUsed    uint64 // a confident predicted value supplied the direction
+	FallbackUsed uint64 // the bimodal outcome table supplied it
+	Allocs       uint64 // tracked-branch entries allocated (evictions included)
+}
+
+// CorrMineStats counts correlation-mining predictor events: how often a
+// mined history position supplied the direction.
+type CorrMineStats struct {
+	Kind      string `stats:"id"` // registry name of the predictor
+	Lookups   uint64 // direction predictions requested
+	MinedUsed uint64 // a trusted correlated position supplied the direction
+	BiasUsed  uint64 // the per-branch bias supplied it
+	Cold      uint64 // untracked branch: static default
+	Allocs    uint64 // entries allocated (evictions included)
+}
+
+// PerfectStats counts perfect-upper-bound predictor events.
+type PerfectStats struct {
+	Kind         string `stats:"id"` // registry name of the predictor
+	Lookups      uint64 // direction predictions requested
+	Covered      uint64 // covered branch: actual outcome supplied
+	FallbackUsed uint64 // uncovered branch: internal YAGS supplied it
+}
+
+// BpredStats groups the front-end predictors' counters. Exactly one
+// direction-predictor section is live per run — the one the selected
+// predictor registered through its Counters() method.
 type BpredStats struct {
-	YAGS     YAGSStats
+	YAGS     YAGSStats // default YAGS direction predictor
+	Dir      DirStats  // bimodal/gshare baselines
+	Value    ValuePredStats
+	CorrMine CorrMineStats
+	Perfect  PerfectStats
 	Indirect IndirectStats
 	RAS      RASStats // the main thread's stack
 }
