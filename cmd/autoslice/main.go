@@ -1,25 +1,35 @@
 // Command autoslice runs the automatic slice construction pipeline of
-// §3.3 end to end: profile a workload's problem instructions on the
-// baseline machine, pick a fork point from an execution trace, extract the
-// backward dataflow slice, emit an executable speculative slice, and
-// compare baseline vs auto-slice-assisted execution.
+// §3.3 as a closed loop: profile a workload's problem instructions on the
+// baseline machine, cluster them into per-fork-point groups, build and
+// optimize candidate slices, measure each candidate under the
+// differential oracle, and accept or reject it on measured override
+// accuracy and net speedup. The result is the same auto-vs-hand
+// comparison the experiments driver exports as figureauto.
 //
-//	autoslice -workload crafty
-//	autoslice -workload eon -lead 30,90 -print
+//	autoslice -workload crafty            closed loop on one workload
+//	autoslice -workload all               every workload
+//	autoslice -workload eon -print        also disassemble the candidates
+//	autoslice -workload eon -auto=false   legacy one-shot (no validation)
+//
+// The closed loop always validates every candidate run against the
+// functional model; -oracle additionally validates the baseline and
+// hand-slice reference legs. The legacy -auto=false path builds exactly
+// one slice from the top-ranked fork point and reports its measured
+// effect without oracle validation — useful for poking at the
+// constructor itself.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"strconv"
 	"strings"
 
 	"repro/internal/asm"
 	"repro/internal/autoslice"
 	"repro/internal/cpu"
-	"repro/internal/isa"
+	"repro/internal/harness"
 	"repro/internal/profile"
 	"repro/internal/slicehw"
 	"repro/internal/workloads"
@@ -27,60 +37,119 @@ import (
 
 func main() {
 	var (
-		name   = flag.String("workload", "crafty", "workload to slice")
-		trace  = flag.Int("trace", 80_000, "trace length for construction")
-		lead   = flag.String("lead", "25,90", "min,max fork lead (dynamic instructions)")
+		name   = flag.String("workload", "crafty", "workload to slice, or \"all\"")
+		auto   = flag.Bool("auto", true, "run the full closed loop (profile → cluster → build → validate → accept)")
 		print  = flag.Bool("print", false, "print the generated slice code")
-		region = flag.Uint64("run", 0, "measured instructions (default: workload suggestion)")
+		scale  = flag.Float64("scale", 1.0, "region scale factor (closed loop)")
+		jobs   = flag.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		useOrc = flag.Bool("oracle", true, "also oracle-validate the baseline/hand reference legs")
+		trace  = flag.Int("trace", 80_000, "trace length for construction (legacy one-shot)")
+		lead   = flag.String("lead", "25,90", "min,max fork lead in dynamic instructions (legacy one-shot)")
+		region = flag.Uint64("run", 0, "measured instructions (legacy one-shot; default: workload suggestion)")
 	)
 	flag.Parse()
 
-	w, err := workloads.ByName(*name)
-	if err != nil {
-		fail(err)
+	var ws []*workloads.Workload
+	if *name == "all" {
+		ws = workloads.All()
+	} else {
+		w, err := workloads.ByName(*name)
+		if err != nil {
+			fail(err)
+		}
+		ws = []*workloads.Workload{w}
 	}
-	minLead, maxLead := parseLead(*lead)
 
-	// 1. Profile: find the problem instructions (§2.2).
+	if *auto {
+		closedLoop(ws, *scale, *jobs, *useOrc, *print)
+		return
+	}
+	if *name == "all" {
+		fail(fmt.Errorf("-auto=false runs one workload at a time; pick one with -workload"))
+	}
+	oneShot(ws[0], *trace, *lead, *region, *print)
+}
+
+// closedLoop runs the full pipeline through the shared experiment engine
+// and prints the auto-vs-hand comparison plus per-candidate verdicts.
+func closedLoop(ws []*workloads.Workload, scale float64, jobs int, useOrc, print bool) {
+	e := harness.NewEngine(harness.Params{Scale: scale}, jobs)
+	e.Oracle = harness.OracleOptions{Enabled: useOrc}
+	builds := e.FigureAutoDetail(ws, harness.DefaultAutoParams())
+
+	rows := make([]harness.FigureAutoRow, len(builds))
+	for i := range builds {
+		rows[i] = builds[i].Row
+	}
+	fmt.Print(harness.FormatFigureAuto(rows))
+
+	if print {
+		for _, b := range builds {
+			for _, bu := range b.Builts {
+				fmt.Printf("\n%s (fork %#x, %d instructions, live-ins %v):\n",
+					bu.Slice.Name, bu.Slice.ForkPC, bu.Slice.StaticSize, bu.Slice.LiveIns)
+				fmt.Print(bu.Program.Disasm())
+			}
+		}
+	}
+
+	validated := 0
+	for i := range rows {
+		if rows[i].AutoSlices > 0 && rows[i].OracleValidated {
+			validated++
+		}
+	}
+	fmt.Printf("\n%d/%d workloads accepted an oracle-validated auto slice\n", validated, len(rows))
+	if validated == 0 {
+		os.Exit(2)
+	}
+}
+
+// oneShot is the legacy single-candidate path: profile, pick the
+// top-ranked fork point, build one slice, and measure it — no clustering,
+// no repair, no oracle.
+func oneShot(w *workloads.Workload, traceLen int, lead string, region uint64, print bool) {
+	minLead, maxLead := parseLead(lead)
+
+	// 1. Profile: find the problem instructions (§2.2). Every problem
+	// branch is sliceable — non-zero-testing kinds (BLT/BGE/BLE/BGT) get
+	// their guard recomputed from the compare producer.
 	core := cpu.MustNew(cpu.Config4Wide(), w.Image, w.NewMemory(), w.Entry, nil)
 	core.Run(w.SuggestedWarmup)
 	core.ResetStats()
 	runLen := w.SuggestedRun
-	if *region > 0 {
-		runLen = *region
+	if region > 0 {
+		runLen = region
 	}
 	s := core.Run(runLen)
 	prof := profile.Characterize(s, profile.DefaultOptions(runLen))
-
-	// Auto-PGIs need zero-testing branches; everything else is prefetch.
-	var branchPCs, problemPCs []uint64
-	for pc := range prof.BranchPCs {
-		if in, ok := w.Image.At(pc); ok && (in.Op == isa.BEQ || in.Op == isa.BNE) {
-			branchPCs = append(branchPCs, pc)
-		}
-	}
-	for pc := range prof.LoadPCs {
-		problemPCs = append(problemPCs, pc)
-	}
-	problemPCs = append(problemPCs, branchPCs...)
-	sort.Slice(problemPCs, func(i, j int) bool { return problemPCs[i] < problemPCs[j] })
+	problemPCs := prof.ProblemPCs()
 	if len(problemPCs) == 0 {
-		fail(fmt.Errorf("no sliceable problem instructions found in %s", w.Name))
+		fail(fmt.Errorf("no problem instructions found in %s", w.Name))
 	}
-	fmt.Printf("profiled %d problem PCs (%d zero-testing branches)\n", len(problemPCs), len(branchPCs))
+	fmt.Printf("profiled %d problem PCs (%d loads, %d branches)\n",
+		len(problemPCs), len(prof.LoadPCs), len(prof.BranchPCs))
 
-	// 2. Trace and pick a fork point.
-	tr, err := autoslice.CollectTrace(w.Image, w.NewMemory(), w.Entry, *trace)
+	// 2. Trace and pick a fork point. PCs with no dynamic instance in the
+	// trace cannot be sliced; report them instead of dropping silently.
+	tr, err := autoslice.CollectTrace(w.Image, w.NewMemory(), w.Entry, traceLen)
 	if err != nil {
 		fail(err)
+	}
+	if _, skipped := autoslice.ClusterProblemPCs(tr, problemPCs, 50); len(skipped) > 0 {
+		fmt.Printf("skipped %d problem PCs with no instance in the %d-instruction trace:", len(skipped), traceLen)
+		for _, pc := range skipped {
+			fmt.Printf(" %#x", pc)
+		}
+		fmt.Println()
 	}
 	cands := autoslice.SelectForkPoint(tr, problemPCs, minLead, maxLead)
 	if len(cands) == 0 {
 		fail(fmt.Errorf("no fork candidates"))
 	}
 	fork := cands[0]
-	fmt.Printf("fork point %#x (coverage %.0f%%, mean lead %.0f instructions)\n",
-		fork.PC, fork.Coverage*100, fork.MeanLead)
+	fmt.Printf("fork point %#x (coverage %.0f%%, purity %.0f%%, mean lead %.0f instructions)\n",
+		fork.PC, fork.Coverage*100, fork.Purity*100, fork.MeanLead)
 
 	// 3. Extract and emit the slice.
 	built, err := autoslice.Build(tr, fork.PC, problemPCs, autoslice.DefaultOptions())
@@ -90,7 +159,7 @@ func main() {
 	sl := built.Slice
 	fmt.Printf("slice: %d instructions, live-ins %v, %d PGIs, %d prefetch loads\n",
 		sl.StaticSize, sl.LiveIns, len(sl.PGIs), len(sl.CoveredLoadPCs))
-	if *print {
+	if print {
 		fmt.Println()
 		fmt.Print(built.Program.Disasm())
 	}
@@ -114,13 +183,17 @@ func main() {
 		base.S.IPC(), base.S.Mispredicts, base.S.LoadMisses)
 	fmt.Printf("auto slice: IPC %.3f, %d mispredictions, %d load misses\n",
 		auto.S.IPC(), auto.S.Mispredicts, auto.S.LoadMisses)
-	acc := 0.0
-	if n := auto.S.PredsCorrect + auto.S.PredsIncorrect; n > 0 {
-		acc = float64(auto.S.PredsCorrect) / float64(n) * 100
+	// A run cut short (or identical cycle counts) must not print NaN/Inf.
+	speedup := "n/a"
+	if base.S.Cycles > 0 && auto.S.Cycles > 0 {
+		speedup = fmt.Sprintf("%.1f%%", (float64(base.S.Cycles)/float64(auto.S.Cycles)-1)*100)
 	}
-	fmt.Printf("speedup %.1f%%; %d overrides at %.1f%% accuracy; %d early resolutions\n",
-		(float64(base.S.Cycles)/float64(auto.S.Cycles)-1)*100,
-		auto.S.PredsUsed, acc, auto.S.EarlyResolutions)
+	acc := "n/a"
+	if n := auto.S.PredsCorrect + auto.S.PredsIncorrect; n > 0 {
+		acc = fmt.Sprintf("%.1f%%", float64(auto.S.PredsCorrect)/float64(n)*100)
+	}
+	fmt.Printf("speedup %s; %d overrides at %s accuracy; %d early resolutions\n",
+		speedup, auto.S.PredsUsed, acc, auto.S.EarlyResolutions)
 }
 
 func parseLead(s string) (int, int) {

@@ -8,7 +8,8 @@
 //	experiments -exp figure11   slice vs constrained-limit speedups
 //	experiments -exp table4     detailed slice-execution statistics
 //	experiments -exp figurepred slices vs value/correlation/perfect predictors
-//	experiments -exp all        everything above except figurepred
+//	experiments -exp figureauto auto-constructed vs hand-built slices (closed loop)
+//	experiments -exp all        everything above except figurepred/figureauto
 //
 // -scale shrinks the measured regions for quick runs (1.0 ≈ a few hundred
 // thousand instructions per run; the paper used 100M-instruction regions).
@@ -18,9 +19,10 @@
 // runs) execute once. -jobs bounds the worker pool (default GOMAXPROCS);
 // -v prints one line per simulation plus a final hit/miss summary.
 //
-// -json runs every experiment (including figurepred) and emits one
-// machine-readable document (schema specslice-experiments/3) containing
-// all tables and figures, for bench trajectories and plotting scripts.
+// -json runs every experiment (including figurepred and figureauto) and
+// emits one machine-readable document (schema specslice-experiments/4)
+// containing all tables and figures, for bench trajectories and plotting
+// scripts.
 //
 // -bpred and -ipred swap the direction / indirect predictor of every
 // driver-built baseline configuration (registry spec, e.g. -bpred
@@ -61,7 +63,7 @@ func printSummary(e *harness.Engine) {
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "table1|table2|figure1|table3|figure11|table4|figurepred|all")
+		exp      = flag.String("exp", "all", "table1|table2|figure1|table3|figure11|table4|figurepred|figureauto|all")
 		scale    = flag.Float64("scale", 1.0, "region scale factor")
 		only     = flag.String("workload", "", "restrict to one workload")
 		jobs     = flag.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
@@ -193,8 +195,14 @@ func main() {
 	if *exp == "figurepred" {
 		runExp("figurepred", func() { fmt.Print(harness.FormatFigurePred(e.FigurePred(ws))) })
 	}
+	// figureauto is explicit-only for the same reason: the closed-loop
+	// automatic construction pipeline is an extension on top of the
+	// paper's hand-built slices.
+	if *exp == "figureauto" {
+		runExp("figureauto", func() { fmt.Print(harness.FormatFigureAuto(e.FigureAuto(ws))) })
+	}
 	switch *exp {
-	case "all", "table1", "table2", "figure1", "table3", "figure11", "table4", "figurepred":
+	case "all", "table1", "table2", "figure1", "table3", "figure11", "table4", "figurepred", "figureauto":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(1)

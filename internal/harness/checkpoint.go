@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"sync"
 
+	"repro/internal/asm"
 	"repro/internal/cpu"
 	"repro/internal/slicehw"
 	"repro/internal/workloads"
@@ -188,15 +189,26 @@ func (cp *Checkpointer) WarmedCore(w *workloads.Workload, cfg cpu.Config, withSl
 // captures the core's exact architectural state at the start of the
 // measured region, which is what the differential oracle seeds from.
 func (cp *Checkpointer) WarmedCoreCkpt(w *workloads.Workload, cfg cpu.Config, withSlices bool, warm uint64) (*cpu.Core, *cpu.Checkpoint, WarmSource, error) {
-	ck, src, err := cp.Warm(w, cfg, withSlices, warm)
-	if err != nil {
-		return nil, nil, src, err
-	}
 	var table *slicehw.Table
 	if withSlices {
 		table = w.SliceTable()
 	}
-	core, err := cpu.Restore(cfg, w.Image, ck, table)
+	return cp.WarmedCoreCkptAt(w, cfg, withSlices, warm, w.Image, table)
+}
+
+// WarmedCoreCkptAt is WarmedCoreCkpt restoring into an explicit image and
+// slice table instead of the workload's own. The warm prefix is still the
+// workload's (keyed by withSlices): the checkpoint's PC and memory state
+// lie entirely inside the main program, so any image that embeds the main
+// program accepts the restore — this is how automatically constructed
+// slice candidates get measured from a shared baseline warm prefix while
+// their own confidence/correlator hardware starts cold at the boundary.
+func (cp *Checkpointer) WarmedCoreCkptAt(w *workloads.Workload, cfg cpu.Config, withSlices bool, warm uint64, image *asm.Image, table *slicehw.Table) (*cpu.Core, *cpu.Checkpoint, WarmSource, error) {
+	ck, src, err := cp.Warm(w, cfg, withSlices, warm)
+	if err != nil {
+		return nil, nil, src, err
+	}
+	core, err := cpu.Restore(cfg, image, ck, table)
 	if err != nil {
 		return nil, nil, src, err
 	}

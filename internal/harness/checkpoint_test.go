@@ -18,7 +18,7 @@ import (
 func measureVia(t *testing.T, cp *Checkpointer, workload string, cfg cpu.Config, withSlices bool, warm, run uint64) stats.Snapshot {
 	t.Helper()
 	w := pick(t, workload)[0]
-	core, _, err := runOnce(cp, w, cfg, withSlices, warm, run, OracleOptions{})
+	core, _, err := runOnce(cp, w, cfg, withSlices, warm, run, OracleOptions{}, nil)
 	if err != nil {
 		t.Fatalf("runOnce: %v", err)
 	}
@@ -168,7 +168,7 @@ func TestConcurrentRestoresShareOneCheckpoint(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			core, _, err := runOnce(cp, w, cfg, true, warm, run, OracleOptions{})
+			core, _, err := runOnce(cp, w, cfg, true, warm, run, OracleOptions{}, nil)
 			if err != nil {
 				t.Error(err)
 				return

@@ -7,8 +7,10 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/asm"
 	"repro/internal/cpu"
 	"repro/internal/profile"
+	"repro/internal/slicehw"
 	"repro/internal/stats"
 	"repro/internal/workloads"
 )
@@ -30,14 +32,36 @@ type RunSpec struct {
 	Cfg        cpu.Config
 	WithSlices bool
 	Warm, Run  uint64
+	// SliceSet, when non-empty, names a registered SliceSet to measure
+	// with instead of the workload's hand-built slices (WithSlices must be
+	// false): the run restores the baseline warm prefix into a core using
+	// the set's image and table. Register sets with RegisterSliceSet under
+	// content-derived names so equal keys still mean identical runs.
+	SliceSet string
 }
 
 // Key returns the memoization key. The config contributes its stable
 // fingerprint (perfect-PC sets sorted), so map iteration order cannot
 // split or alias cache entries.
 func (s RunSpec) Key() string {
-	return fmt.Sprintf("%s|slices=%t|warm=%d|run=%d|%s",
-		s.Workload, s.WithSlices, s.Warm, s.Run, s.Cfg.Fingerprint())
+	set := ""
+	if s.SliceSet != "" {
+		set = "|set=" + s.SliceSet
+	}
+	return fmt.Sprintf("%s|slices=%t|warm=%d|run=%d%s|%s",
+		s.Workload, s.WithSlices, s.Warm, s.Run, set, s.Cfg.Fingerprint())
+}
+
+// SliceSet is an alternative slice configuration for one workload —
+// typically automatically constructed candidates (internal/autoslice). The
+// image must hold the workload's main program first, plus the slice code;
+// the table must index the same slice metadata. Sets are immutable once
+// registered.
+type SliceSet struct {
+	Name     string
+	Workload string
+	Image    *asm.Image
+	Table    *slicehw.Table
 }
 
 // RunResult is everything a driver may need from one simulation: the
@@ -109,6 +133,19 @@ type Engine struct {
 
 	progressMu sync.Mutex
 	profiles   sync.Map // baseline spec key → profile.Result
+	sets       sync.Map // SliceSet name → *SliceSet
+}
+
+// RegisterSliceSet makes a slice set available to RunSpecs by name. Names
+// should be content-derived (e.g. include autoslice.Built.Fingerprint), so
+// registration is idempotent: re-registering an existing name keeps the
+// first set and is not an error.
+func (e *Engine) RegisterSliceSet(s *SliceSet) error {
+	if s.Name == "" || s.Workload == "" || s.Image == nil || s.Table == nil {
+		return fmt.Errorf("harness: slice set needs a name, workload, image, and table")
+	}
+	e.sets.LoadOrStore(s.Name, s)
+	return nil
 }
 
 type memoEntry struct {
@@ -154,6 +191,22 @@ func (e *Engine) emit(ev Event) {
 }
 
 // Run executes (or recalls) one simulation. Safe for concurrent use.
+func (e *Engine) Run(spec RunSpec) (*RunResult, error) {
+	return e.run(spec, e.Oracle)
+}
+
+// RunValidated is Run with the differential oracle forced on, independent
+// of the engine-wide default — used to vet automatically constructed slice
+// candidates. The oracle is not part of the memo key: a spec already run
+// un-validated would be recalled as-is, so validated specs should carry
+// their own identity (candidate SliceSet names do).
+func (e *Engine) RunValidated(spec RunSpec) (*RunResult, error) {
+	o := e.Oracle
+	o.Enabled = true
+	return e.run(spec, o)
+}
+
+// run implements Run/RunValidated.
 //
 // Lock discipline: a caller that creates the memo entry simulates while
 // holding no lock and closes the entry's done channel when finished;
@@ -161,7 +214,7 @@ func (e *Engine) emit(ev Event) {
 // workers acquire their pool slot *before* calling Run, so an entry's
 // creator always holds a slot and makes progress — a waiter can never
 // starve the creator of the last slot.
-func (e *Engine) Run(spec RunSpec) (*RunResult, error) {
+func (e *Engine) run(spec RunSpec, o OracleOptions) (*RunResult, error) {
 	key := spec.Key()
 	e.mu.Lock()
 	if en, ok := e.memo[key]; ok {
@@ -176,15 +229,32 @@ func (e *Engine) Run(spec RunSpec) (*RunResult, error) {
 	e.st.Misses++
 	e.mu.Unlock()
 
-	w, err := workloads.ByName(spec.Workload)
-	if err != nil {
+	fail := func(err error) (*RunResult, error) {
 		// Resolve the entry with the error so waiters see it too.
 		en.err = err
 		close(en.done)
 		return nil, err
 	}
+	w, err := workloads.ByName(spec.Workload)
+	if err != nil {
+		return fail(err)
+	}
+	var set *SliceSet
+	if spec.SliceSet != "" {
+		if spec.WithSlices {
+			return fail(fmt.Errorf("harness: spec %s: WithSlices and SliceSet are mutually exclusive", key))
+		}
+		v, ok := e.sets.Load(spec.SliceSet)
+		if !ok {
+			return fail(fmt.Errorf("harness: unknown slice set %q (RegisterSliceSet first)", spec.SliceSet))
+		}
+		set = v.(*SliceSet)
+		if set.Workload != spec.Workload {
+			return fail(fmt.Errorf("harness: slice set %q belongs to %s, not %s", set.Name, set.Workload, spec.Workload))
+		}
+	}
 	start := time.Now()
-	core, warmSrc, err := runOnce(e.Ckpt, w, spec.Cfg, spec.WithSlices, spec.Warm, spec.Run, e.Oracle)
+	core, warmSrc, err := runOnce(e.Ckpt, w, spec.Cfg, spec.WithSlices, spec.Warm, spec.Run, o, set)
 	if err != nil {
 		en.err = err
 		close(en.done)
@@ -237,6 +307,33 @@ func (e *Engine) RunAll(specs []RunSpec) ([]*RunResult, error) {
 		}
 	}
 	return results, nil
+}
+
+// runAllEach executes the specs over the worker pool like RunAll, but
+// reports each spec's outcome individually instead of failing the batch on
+// the first error: results[i] is nil exactly when errs[i] is non-nil.
+// Validated specs run with the oracle forced on (RunValidated), so a
+// divergence rejects one candidate rather than aborting the experiment.
+func (e *Engine) runAllEach(specs []RunSpec, validated bool) ([]*RunResult, []error) {
+	results := make([]*RunResult, len(specs))
+	errs := make([]error, len(specs))
+	sem := make(chan struct{}, e.jobs())
+	var wg sync.WaitGroup
+	for i := range specs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if validated {
+				results[i], errs[i] = e.RunValidated(specs[i])
+			} else {
+				results[i], errs[i] = e.Run(specs[i])
+			}
+		}(i)
+	}
+	wg.Wait()
+	return results, errs
 }
 
 // mustRunAll is RunAll for driver-internal specs, whose workload names

@@ -15,7 +15,11 @@ import "repro/internal/workloads"
 // Purely additive: every v2 field is unchanged, so a v2 reader that
 // ignores unknown fields parses v3 documents, and a v3 reader sees an
 // empty figurePred in v2 documents.
-const ExportSchema = "specslice-experiments/3"
+//
+// v4: added figureAuto, the closed-loop automatic slice construction
+// comparison (auto-built, oracle-validated slices vs the hand-built
+// ones). Purely additive, same compatibility story as v3.
+const ExportSchema = "specslice-experiments/4"
 
 // Export is the whole evaluation — every table and figure of the paper —
 // as one machine-readable document, the JSON counterpart of the formatted
@@ -33,6 +37,8 @@ type Export struct {
 	Table4    []Table4Col   `json:"table4"`
 	// FigurePred is the predictor-stack comparison (schema v3).
 	FigurePred []FigurePredRow `json:"figurePred"`
+	// FigureAuto is the automatic slice-construction comparison (schema v4).
+	FigureAuto []FigureAutoRow `json:"figureAuto"`
 	Engine     ExportEngine    `json:"engine"`
 }
 
@@ -71,6 +77,7 @@ func (e *Engine) Export(ws []*workloads.Workload) Export {
 	doc.Figure11 = e.Figure11(ws)
 	doc.Table4 = e.Table4(ws)
 	doc.FigurePred = e.FigurePred(ws)
+	doc.FigureAuto = e.FigureAuto(ws)
 	st := e.Stats()
 	doc.Engine = ExportEngine{
 		Simulations: st.Misses,

@@ -69,6 +69,7 @@ func TestExportDocumentShape(t *testing.T) {
 		"figure11":   len(doc.Figure11),
 		"table4":     len(doc.Table4),
 		"figurePred": len(doc.FigurePred),
+		"figureAuto": len(doc.FigureAuto),
 	} {
 		if n != len(ws) {
 			t.Errorf("%s has %d rows, want %d", name, n, len(ws))
@@ -118,5 +119,29 @@ func TestExportReaderToleratesV2(t *testing.T) {
 	if len(doc.Table2) == 0 || len(doc.Figure11) == 0 || len(doc.Table4) == 0 ||
 		doc.Engine.Simulations == 0 {
 		t.Error("v2 fields did not survive the v3 reader")
+	}
+}
+
+// TestExportReaderToleratesV3 does the same for the v3 → v4 step: v4 only
+// added figureAuto, so a stored v3 document must parse with figureAuto
+// absent and everything else intact.
+func TestExportReaderToleratesV3(t *testing.T) {
+	b, err := os.ReadFile(filepath.Join("testdata", "export_vpr.v3.golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc Export
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("v4 reader failed on a v3 document: %v", err)
+	}
+	if doc.Schema != "specslice-experiments/3" {
+		t.Errorf("schema = %q, want the stored v3 tag", doc.Schema)
+	}
+	if doc.FigureAuto != nil {
+		t.Errorf("v3 document produced %d figureAuto rows, want none", len(doc.FigureAuto))
+	}
+	if len(doc.FigurePred) == 0 || len(doc.Table2) == 0 || len(doc.Figure11) == 0 ||
+		doc.Engine.Simulations == 0 {
+		t.Error("v3 fields did not survive the v4 reader")
 	}
 }

@@ -80,14 +80,29 @@ func (p Params) regions(w *workloads.Workload) (warm, run uint64) {
 // warm checkpoint the core restores from and attached for the measured
 // region; any divergence (or invariant violation) fails the run with a
 // *oracle.DivergenceError.
-func runOnce(cp *Checkpointer, w *workloads.Workload, cfg cpu.Config, withSlices bool, warm, run uint64, o OracleOptions) (*cpu.Core, WarmSource, error) {
-	core, ck, src, err := cp.WarmedCoreCkpt(w, cfg, withSlices, warm)
+// When set is non-nil the measurement runs with that slice set's image and
+// table instead of the workload's hand-built slices: the warm prefix is
+// the plain baseline one (the warm region never executes slice code, and
+// the candidate hardware starting cold at the measurement boundary is the
+// conservative choice when deciding whether to accept an auto slice).
+func runOnce(cp *Checkpointer, w *workloads.Workload, cfg cpu.Config, withSlices bool, warm, run uint64, o OracleOptions, set *SliceSet) (*cpu.Core, WarmSource, error) {
+	image := w.Image
+	var core *cpu.Core
+	var ck *cpu.Checkpoint
+	var src WarmSource
+	var err error
+	if set != nil {
+		image = set.Image
+		core, ck, src, err = cp.WarmedCoreCkptAt(w, cfg, withSlices, warm, set.Image, set.Table)
+	} else {
+		core, ck, src, err = cp.WarmedCoreCkpt(w, cfg, withSlices, warm)
+	}
 	if err != nil {
 		return nil, src, err
 	}
 	var orc *oracle.Oracle
 	if o.Enabled {
-		orc = oracle.FromCheckpoint(w.Image, ck, oracle.Options{
+		orc = oracle.FromCheckpoint(image, ck, oracle.Options{
 			Workload: w.Name,
 			WarmKey:  WarmKeyFor(w.Name, withSlices, warm, cp.Mode, cfg),
 			Every:    o.Every,

@@ -105,6 +105,23 @@ func Characterize(s *stats.Sim, opt Options) Result {
 	return r
 }
 
+// ProblemPCs returns the union of the problem load and branch PCs, sorted
+// ascending — the deterministic work list automatic slice construction
+// starts from.
+func (r Result) ProblemPCs() []uint64 {
+	out := make([]uint64, 0, len(r.LoadPCs)+len(r.BranchPCs))
+	for pc := range r.LoadPCs {
+		out = append(out, pc)
+	}
+	for pc := range r.BranchPCs {
+		if !r.LoadPCs[pc] {
+			out = append(out, pc)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 // TopOffenders returns the n static instructions with the most PDEs, for
 // reports and slice-construction guidance.
 func TopOffenders(s *stats.Sim, n int) []*stats.Static {
