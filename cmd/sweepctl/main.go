@@ -1,0 +1,210 @@
+// Command sweepctl is the sweepd client:
+//
+//	sweepctl [-addr URL] submit [flags]   submit a sweep, stream results
+//	sweepctl [-addr URL] stats            engine + store + queue telemetry
+//	sweepctl [-addr URL] cancel <id>      cancel a sweep's queued runs
+//
+// submit builds the sweep spec either from -file (a specslice-sweep/1
+// JSON document, "-" for stdin) or from flags:
+//
+//	sweepctl submit                                  # 12-workload baseline grid
+//	sweepctl submit -workloads vpr,mcf -slices both  # base + slice legs
+//	sweepctl submit -width 8 -scale 0.1 -priority 5
+//
+// Results stream to stdout as NDJSON, exactly as the server sends them
+// (-q reduces that to a one-line summary). The exit status is nonzero if
+// any run failed or the sweep was cancelled, so shell scripts and CI can
+// gate on a whole sweep.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/sweepd"
+)
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "sweepctl:", err)
+	os.Exit(1)
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8642", "sweepd base URL")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: sweepctl [-addr URL] submit|stats|cancel [args]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	base := strings.TrimRight(*addr, "/")
+
+	switch flag.Arg(0) {
+	case "submit":
+		submit(base, flag.Args()[1:])
+	case "stats":
+		get(base + "/v1/stats")
+	case "cancel":
+		if flag.NArg() != 2 {
+			fail(fmt.Errorf("usage: sweepctl cancel <sweep-id>"))
+		}
+		del(base + "/v1/sweeps/" + flag.Arg(1))
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func submit(base string, args []string) {
+	fs := flag.NewFlagSet("submit", flag.ExitOnError)
+	var (
+		file      = fs.String("file", "", "sweep spec JSON file (\"-\" = stdin); overrides the grid flags")
+		workloads = fs.String("workloads", "", "comma-separated workload names (empty = all)")
+		slices    = fs.String("slices", "off", "slice legs: off|on|both")
+		width     = fs.Int("width", 4, "machine width: 4 or 8")
+		scale     = fs.Float64("scale", 0, "region scale override (0 = server default)")
+		priority  = fs.Int("priority", 0, "queue priority (higher first)")
+		oracle    = fs.Bool("oracle", false, "force the differential oracle onto every run")
+		bpredFlg  = fs.String("bpred", "", "direction predictor override, name[:params]")
+		ipredFlg  = fs.String("ipred", "", "indirect predictor override, name[:params]")
+		quiet     = fs.Bool("q", false, "suppress the NDJSON stream; print a one-line summary")
+	)
+	fs.Parse(args)
+
+	var body []byte
+	if *file != "" {
+		var b []byte
+		var err error
+		if *file == "-" {
+			b, err = io.ReadAll(os.Stdin)
+		} else {
+			b, err = os.ReadFile(*file)
+		}
+		if err != nil {
+			fail(err)
+		}
+		// Round-trip through the spec type so a malformed file fails here,
+		// not as an opaque 400.
+		var spec sweepd.SweepSpec
+		if err := json.Unmarshal(b, &spec); err != nil {
+			fail(fmt.Errorf("%s: %w", *file, err))
+		}
+		body = b
+	} else {
+		spec := sweepd.SweepSpec{
+			Schema:   sweepd.Schema,
+			Scale:    *scale,
+			Priority: *priority,
+			Oracle:   *oracle,
+		}
+		if *workloads != "" {
+			spec.Workloads = strings.Split(*workloads, ",")
+		}
+		var legs []sweepd.ConfigSpec
+		if *slices == "off" || *slices == "both" {
+			legs = append(legs, sweepd.ConfigSpec{Width: *width, BPred: *bpredFlg, IPred: *ipredFlg})
+		}
+		if *slices == "on" || *slices == "both" {
+			legs = append(legs, sweepd.ConfigSpec{Width: *width, WithSlices: true, BPred: *bpredFlg, IPred: *ipredFlg})
+		}
+		if legs == nil {
+			fail(fmt.Errorf("-slices %q: want off, on, or both", *slices))
+		}
+		spec.Configs = legs
+		var err error
+		if body, err = json.Marshal(spec); err != nil {
+			fail(err)
+		}
+	}
+
+	resp, err := http.Post(base+"/v1/sweeps", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		fail(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		fmt.Fprintf(os.Stderr, "sweepctl: server busy (429), Retry-After %ss\n",
+			resp.Header.Get("Retry-After"))
+		io.Copy(os.Stdout, resp.Body)
+		os.Exit(3)
+	}
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "sweepctl: %s\n", resp.Status)
+		io.Copy(os.Stderr, resp.Body)
+		os.Exit(1)
+	}
+
+	// Stream the NDJSON through, tallying the terminal record.
+	start := time.Now()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var done sweepd.Record
+	sawDone := false
+	for sc.Scan() {
+		line := sc.Bytes()
+		var rec sweepd.Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			fail(fmt.Errorf("bad record from server: %w", err))
+		}
+		if !*quiet {
+			fmt.Println(string(line))
+		}
+		if rec.Type == "done" {
+			done = rec
+			sawDone = true
+		}
+		if rec.Type == "error" {
+			fail(fmt.Errorf("%s", rec.Error))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fail(err)
+	}
+	if !sawDone {
+		fail(fmt.Errorf("stream ended without a done record"))
+	}
+	fmt.Fprintf(os.Stderr, "sweepctl: sweep %s: %d completed, %d errors, %d skipped in %s\n",
+		done.Sweep, done.Completed, done.Errors, done.Skips, time.Since(start).Round(time.Millisecond))
+	if done.Errors > 0 || done.Cancelled {
+		os.Exit(1)
+	}
+}
+
+func get(url string) {
+	resp, err := http.Get(url)
+	if err != nil {
+		fail(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "sweepctl: %s\n", resp.Status)
+		io.Copy(os.Stderr, resp.Body)
+		os.Exit(1)
+	}
+	io.Copy(os.Stdout, resp.Body)
+}
+
+func del(url string) {
+	req, err := http.NewRequest(http.MethodDelete, url, nil)
+	if err != nil {
+		fail(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		fail(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "sweepctl: %s\n", resp.Status)
+		io.Copy(os.Stderr, resp.Body)
+		os.Exit(1)
+	}
+	io.Copy(os.Stdout, resp.Body)
+}

@@ -1,0 +1,89 @@
+// Command sweepd serves simulation sweeps over HTTP: a long-running
+// sharded sweep service over one shared experiment engine and one warm-
+// checkpoint store (see internal/sweepd and DESIGN.md "Sweep service").
+//
+//	sweepd -addr :8642 -checkpoint-dir /var/cache/specslice -jobs 8
+//
+// Clients (cmd/sweepctl, or plain curl) POST sweep specs — workload ×
+// config grids — to /v1/sweeps and read per-run results back as NDJSON.
+// Every run goes through the engine memo and the checkpoint cache, so N
+// clients submitting overlapping grids cost one simulation per unique
+// run; with -checkpoint-dir the warm half of that economy extends across
+// server restarts and across other processes sharing the directory
+// (cross-process single-flight: concurrent builders of one warm prefix
+// collapse to a single simulation fleet-wide).
+//
+// Capacity and backpressure: -jobs bounds concurrent simulations, -queue
+// bounds queued runs; a sweep that would overflow the queue is refused
+// with 429 and a Retry-After estimate. -checkpoint-max-bytes bounds the
+// on-disk store with LRU eviction. GET /v1/stats exposes engine, store,
+// and queue telemetry.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/bpred"
+	"repro/internal/harness"
+	"repro/internal/sweepd"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8642", "listen address")
+		jobs     = flag.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		queueCap = flag.Int("queue", 4096, "max queued runs before sweeps are refused with 429")
+		scale    = flag.Float64("scale", 1.0, "default region scale (sweeps may override per spec)")
+		ckDir    = flag.String("checkpoint-dir", "", "shared warm-checkpoint store directory")
+		ckMax    = flag.Int64("checkpoint-max-bytes", 0, "LRU-evict the checkpoint store past this size (0 = unbounded)")
+		warmFlg  = flag.String("warm", "detailed", "warm-up mode: detailed|functional|functional-interp")
+		bpredFlg = flag.String("bpred", "", "default direction predictor, name[:params]")
+		ipredFlg = flag.String("ipred", "", "default indirect target predictor, name[:params]")
+		useOrc   = flag.Bool("oracle", false, "validate every run against the functional model")
+		verbose  = flag.Bool("v", false, "log sweep admission, rejection, and completion")
+	)
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "sweepd:", err)
+		os.Exit(1)
+	}
+	if _, err := bpred.NewDir(*bpredFlg); err != nil {
+		fail(err)
+	}
+	if _, err := bpred.NewIndirect(*ipredFlg); err != nil {
+		fail(err)
+	}
+	warmMode, err := harness.ParseWarmMode(*warmFlg)
+	if err != nil {
+		fail(err)
+	}
+
+	e := harness.NewEngine(harness.Params{Scale: *scale, BPred: *bpredFlg, IndirectPred: *ipredFlg}, *jobs)
+	e.Ckpt = harness.NewCheckpointer(*ckDir, warmMode)
+	e.Ckpt.MaxBytes = *ckMax
+	e.Oracle = harness.OracleOptions{Enabled: *useOrc}
+
+	srv := sweepd.New(e, *jobs, *queueCap)
+	if *verbose {
+		srv.Logf = log.Printf
+	}
+	srv.Start()
+	defer srv.Close()
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("sweepd: listening on %s (scale %g, warm %s, checkpoint-dir %q)",
+		*addr, *scale, warmMode, *ckDir)
+	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fail(err)
+	}
+}

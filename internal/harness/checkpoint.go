@@ -13,6 +13,7 @@ import (
 	"repro/internal/asm"
 	"repro/internal/cpu"
 	"repro/internal/slicehw"
+	"repro/internal/stats"
 	"repro/internal/workloads"
 )
 
@@ -89,6 +90,18 @@ type CheckpointStats struct {
 	// DiskBytes is the total bytes moved in either direction.
 	DiskLoads, DiskStores uint64
 	DiskBytes             uint64
+
+	// Cross-process single-flight (see store.go). SingleflightWaits counts
+	// Warm calls that found another process's lease on their key and
+	// waited; SingleflightHits counts waits resolved by loading that
+	// process's finished build (waits − hits rebuilt locally, e.g. after a
+	// takeover). LeaseTakeovers counts stale leases stolen from a dead or
+	// stalled holder.
+	SingleflightWaits, SingleflightHits uint64
+	LeaseTakeovers                      uint64
+	// Evictions/EvictedBytes count store entries removed by the MaxBytes
+	// LRU garbage collector.
+	Evictions, EvictedBytes uint64
 }
 
 // Checkpointer is a two-level warm-checkpoint cache: an in-memory map for
@@ -103,6 +116,13 @@ type Checkpointer struct {
 	// Mode selects detailed (default, behavior-identical) or functional
 	// (fast, approximate) warm-up.
 	Mode WarmMode
+	// MaxBytes, when > 0, bounds the on-disk store: after every store the
+	// least-recently-used entries are evicted until the total is back
+	// under the bound (set before the first Warm; see store.go).
+	MaxBytes int64
+	// Tracer, when non-nil, receives store coordination events
+	// (singleflight waits, lease takeovers, evictions).
+	Tracer stats.Tracer
 
 	mu      sync.Mutex
 	entries map[string]*ckptEntry
@@ -135,6 +155,9 @@ func (cp *Checkpointer) Stats() CheckpointStats {
 // neither cache level has it. Safe for concurrent use; concurrent requests
 // for the same key simulate once (the same done-channel discipline as the
 // engine memo — see Engine.Run for why waiters cannot starve creators).
+// With Dir set, the single-flight guarantee extends across processes: N
+// Checkpointers racing on one key perform exactly one warm simulation
+// between them (lock-file lease; see store.go).
 func (cp *Checkpointer) Warm(w *workloads.Workload, cfg cpu.Config, withSlices bool, warm uint64) (*cpu.Checkpoint, WarmSource, error) {
 	key := WarmKeyFor(w.Name, withSlices, warm, cp.Mode, cfg)
 	cp.mu.Lock()
@@ -148,32 +171,20 @@ func (cp *Checkpointer) Warm(w *workloads.Workload, cfg cpu.Config, withSlices b
 	cp.entries[key] = en
 	cp.mu.Unlock()
 
-	src := WarmFromSim
-	if ck, n := cp.diskLoad(key); ck != nil {
-		en.ck = ck
-		src = WarmFromDisk
-		cp.mu.Lock()
-		cp.st.WarmHits++
-		cp.st.DiskLoads++
-		cp.st.DiskBytes += uint64(n)
-		cp.mu.Unlock()
-	} else {
-		var persist bool
-		en.ck, persist, en.err = cp.build(w, cfg, withSlices, warm)
-		cp.mu.Lock()
-		cp.st.WarmMisses++
-		cp.mu.Unlock()
-		if en.err == nil && persist {
-			if n := cp.diskStore(key, en.ck); n > 0 {
-				cp.mu.Lock()
-				cp.st.DiskStores++
-				cp.st.DiskBytes += uint64(n)
-				cp.mu.Unlock()
-			}
-		}
-	}
+	var src WarmSource
+	en.ck, src, en.err = cp.warmFromStore(w, cfg, withSlices, warm, key)
 	close(en.done)
 	return en.ck, src, en.err
+}
+
+// buildCounted is build plus miss accounting, shared by the no-store path
+// and the store's lease-holder path.
+func (cp *Checkpointer) buildCounted(w *workloads.Workload, cfg cpu.Config, withSlices bool, warm uint64) (ck *cpu.Checkpoint, persist bool, err error) {
+	ck, persist, err = cp.build(w, cfg, withSlices, warm)
+	cp.mu.Lock()
+	cp.st.WarmMisses++
+	cp.mu.Unlock()
+	return ck, persist, err
 }
 
 // WarmedCore returns a fresh core restored to the end of the warm prefix,
@@ -292,10 +303,13 @@ func warnf(format string, args ...any) {
 }
 
 // diskLoad returns the stored checkpoint for key, or nil (with a warning
-// for anything other than a simple absence). n is the file size on success.
-func (cp *Checkpointer) diskLoad(key string) (ck *cpu.Checkpoint, n int) {
+// for anything other than a simple absence). n is the file size on
+// success. corrupt reports that an entry file was read but failed
+// validation — it can never become a valid done marker, so the
+// single-flight loop must remove it rather than wait on it.
+func (cp *Checkpointer) diskLoad(key string) (ck *cpu.Checkpoint, n int, corrupt bool) {
 	if cp.Dir == "" {
-		return nil, 0
+		return nil, 0, false
 	}
 	path := ckptPath(cp.Dir, key)
 	b, err := os.ReadFile(path)
@@ -303,19 +317,19 @@ func (cp *Checkpointer) diskLoad(key string) (ck *cpu.Checkpoint, n int) {
 		if !os.IsNotExist(err) {
 			warnf("checkpoint store: %v", err)
 		}
-		return nil, 0
+		return nil, 0, false
 	}
 	payload, err := parseCkptFile(b, key)
 	if err != nil {
 		warnf("ignoring checkpoint %s: %v", filepath.Base(path), err)
-		return nil, 0
+		return nil, 0, true
 	}
 	ck, err = cpu.DecodeCheckpoint(payload)
 	if err != nil {
 		warnf("ignoring checkpoint %s: %v", filepath.Base(path), err)
-		return nil, 0
+		return nil, 0, true
 	}
-	return ck, len(b)
+	return ck, len(b), false
 }
 
 func parseCkptFile(b []byte, key string) ([]byte, error) {

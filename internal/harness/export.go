@@ -19,7 +19,13 @@ import "repro/internal/workloads"
 // v4: added figureAuto, the closed-loop automatic slice construction
 // comparison (auto-built, oracle-validated slices vs the hand-built
 // ones). Purely additive, same compatibility story as v3.
-const ExportSchema = "specslice-experiments/4"
+//
+// v5: engine block gained the checkpoint store's cross-process
+// coordination counters (singleflightWaits, singleflightHits,
+// leaseTakeovers, evictions, evictedBytes). Purely additive, same
+// compatibility story as v3/v4; the new counters are zero unless a
+// shared -checkpoint-dir (or the sweep service) is in play.
+const ExportSchema = "specslice-experiments/5"
 
 // Export is the whole evaluation — every table and figure of the paper —
 // as one machine-readable document, the JSON counterpart of the formatted
@@ -56,6 +62,36 @@ type ExportEngine struct {
 	DiskLoads  uint64 `json:"diskLoads"`
 	DiskStores uint64 `json:"diskStores"`
 	DiskBytes  uint64 `json:"diskBytes"`
+
+	// Checkpoint store cross-process coordination (schema v5).
+	SingleflightWaits uint64 `json:"singleflightWaits"`
+	SingleflightHits  uint64 `json:"singleflightHits"`
+	LeaseTakeovers    uint64 `json:"leaseTakeovers"`
+	Evictions         uint64 `json:"evictions"`
+	EvictedBytes      uint64 `json:"evictedBytes"`
+}
+
+// Export renders the engine counters as the schema's engine block. The
+// sweep service reuses this type for its telemetry records, so a stats
+// consumer reads one shape everywhere.
+func (st EngineStats) Export() ExportEngine {
+	return ExportEngine{
+		Simulations:       st.Misses,
+		MemoHits:          st.Hits,
+		SimInsts:          st.SimInsts,
+		SimWallMS:         st.SimWall.Milliseconds(),
+		WarmHits:          st.Checkpoints.WarmHits,
+		WarmMisses:        st.Checkpoints.WarmMisses,
+		Restores:          st.Checkpoints.Restores,
+		DiskLoads:         st.Checkpoints.DiskLoads,
+		DiskStores:        st.Checkpoints.DiskStores,
+		DiskBytes:         st.Checkpoints.DiskBytes,
+		SingleflightWaits: st.Checkpoints.SingleflightWaits,
+		SingleflightHits:  st.Checkpoints.SingleflightHits,
+		LeaseTakeovers:    st.Checkpoints.LeaseTakeovers,
+		Evictions:         st.Checkpoints.Evictions,
+		EvictedBytes:      st.Checkpoints.EvictedBytes,
+	}
 }
 
 // Export runs every experiment for ws on the engine and assembles the
@@ -78,18 +114,6 @@ func (e *Engine) Export(ws []*workloads.Workload) Export {
 	doc.Table4 = e.Table4(ws)
 	doc.FigurePred = e.FigurePred(ws)
 	doc.FigureAuto = e.FigureAuto(ws)
-	st := e.Stats()
-	doc.Engine = ExportEngine{
-		Simulations: st.Misses,
-		MemoHits:    st.Hits,
-		SimInsts:    st.SimInsts,
-		SimWallMS:   st.SimWall.Milliseconds(),
-		WarmHits:    st.Checkpoints.WarmHits,
-		WarmMisses:  st.Checkpoints.WarmMisses,
-		Restores:    st.Checkpoints.Restores,
-		DiskLoads:   st.Checkpoints.DiskLoads,
-		DiskStores:  st.Checkpoints.DiskStores,
-		DiskBytes:   st.Checkpoints.DiskBytes,
-	}
+	doc.Engine = e.Stats().Export()
 	return doc
 }

@@ -122,6 +122,30 @@ func TestExportReaderToleratesV2(t *testing.T) {
 	}
 }
 
+// TestExportReaderToleratesV4 does the same for the v4 → v5 step: v5 only
+// added engine-block coordination counters, so a stored v4 document must
+// parse with those counters zero and everything else intact.
+func TestExportReaderToleratesV4(t *testing.T) {
+	b, err := os.ReadFile(filepath.Join("testdata", "export_vpr.v4.golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc Export
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("v5 reader failed on a v4 document: %v", err)
+	}
+	if doc.Schema != "specslice-experiments/4" {
+		t.Errorf("schema = %q, want the stored v4 tag", doc.Schema)
+	}
+	if doc.Engine.SingleflightWaits != 0 || doc.Engine.Evictions != 0 {
+		t.Error("v4 document produced nonzero v5 coordination counters")
+	}
+	if len(doc.FigureAuto) == 0 || len(doc.FigurePred) == 0 || len(doc.Table2) == 0 ||
+		doc.Engine.Simulations == 0 {
+		t.Error("v4 fields did not survive the v5 reader")
+	}
+}
+
 // TestExportReaderToleratesV3 does the same for the v3 → v4 step: v4 only
 // added figureAuto, so a stored v3 document must parse with figureAuto
 // absent and everything else intact.

@@ -1,0 +1,293 @@
+package harness
+
+// Cross-process coordination for the on-disk checkpoint store. The store
+// is a content-addressed cache (ckptPath hashes the warm key) that PR 4
+// made safe for one writer; this file makes it safe for a fleet:
+//
+//   - Single-flight per warm key: before building, a writer acquires a
+//     lock-file lease (O_CREATE|O_EXCL) next to the entry. Everyone who
+//     loses the race waits for the *done marker* — the entry itself, which
+//     appears atomically via rename — and loads it instead of rebuilding.
+//     The second reader re-validates the full container (magic, schema,
+//     key, CRC) on load; a corrupt publish falls back to taking the lease
+//     and rebuilding.
+//   - Staleness takeover: a lease holder heartbeats its lock file's mtime
+//     while it builds. If the holder dies or stalls past leaseTTL, a
+//     waiter steals the lease by *renaming* the stale lock — rename is
+//     atomic, so exactly one contender wins and a fresh lease can never be
+//     unlinked by a racing second waiter — and becomes the builder. The
+//     first takeover in a process warns once.
+//   - Size-bounded LRU GC: with MaxBytes set, every store sweeps the
+//     directory and evicts least-recently-used entries (mtime order;
+//     loads touch their entry) until the total is back under the bound.
+//
+// Liveness: a waiter either observes the done marker, observes the lease
+// vanish or go stale (and re-races for it), or keeps waiting while the
+// holder keeps heartbeating — i.e. while real progress is being made. A
+// holder that crashes after publishing but before unlocking is harmless:
+// waiters check for the marker before the lease.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cpu"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// Lease tunables. Vars, not consts, so tests can compress time; real
+// builds at full scale run minutes, so staleness must mean "no heartbeat",
+// never "slow build".
+var (
+	// leaseTTL is how long a lock file may go without a heartbeat before
+	// any waiter may steal it.
+	leaseTTL = 10 * time.Second
+	// leaseHeartbeat is the holder's mtime refresh period (≪ leaseTTL).
+	leaseHeartbeat = 2 * time.Second
+	// leasePoll is the waiters' marker/staleness polling period.
+	leasePoll = 20 * time.Millisecond
+)
+
+// staleLeaseWarned dedups the takeover warning (one per process), and
+// staleLeaseSeq makes steal-rename targets unique within it.
+var (
+	staleLeaseWarned atomic.Bool
+	staleLeaseSeq    atomic.Uint64
+)
+
+func (cp *Checkpointer) trace(ev stats.Event) {
+	if cp.Tracer != nil {
+		cp.Tracer.Emit(ev)
+	}
+}
+
+// warmFromStore resolves one warm prefix against the on-disk store with
+// cross-process single-flight, or builds directly when no store is
+// configured. Called once per key per process (the in-memory entry map
+// has already single-flighted within the process).
+func (cp *Checkpointer) warmFromStore(w *workloads.Workload, cfg cpu.Config, withSlices bool, warm uint64, key string) (*cpu.Checkpoint, WarmSource, error) {
+	if cp.Dir == "" {
+		ck, _, err := cp.buildCounted(w, cfg, withSlices, warm)
+		return ck, WarmFromSim, err
+	}
+	path := ckptPath(cp.Dir, key)
+	lock := path + ".lock"
+	waited := false
+	hit := func(ck *cpu.Checkpoint, n int) (*cpu.Checkpoint, WarmSource, error) {
+		cp.mu.Lock()
+		cp.st.WarmHits++
+		cp.st.DiskLoads++
+		cp.st.DiskBytes += uint64(n)
+		if waited {
+			cp.st.SingleflightHits++
+		}
+		cp.mu.Unlock()
+		// Touch the entry so eviction order tracks use, not creation.
+		now := time.Now()
+		os.Chtimes(path, now, now)
+		return ck, WarmFromDisk, nil
+	}
+	for {
+		// Done marker first: if the entry exists and validates (the CRC
+		// re-check every reader performs), nobody needs to build. A
+		// corrupt entry can never validate, so waiting on it would spin
+		// forever — remove it and let the lease protocol rebuild it.
+		// Removal keys off a failed parse of existing bytes, never off
+		// absence; if a peer republishes a good entry in the read-to-
+		// remove window the remove costs one extra rebuild, nothing more.
+		ck, n, corrupt := cp.diskLoad(key)
+		if ck != nil {
+			return hit(ck, n)
+		}
+		if corrupt {
+			os.Remove(path)
+		}
+		l, ok := cp.tryLease(lock)
+		if ok {
+			// Double-check under the lease: a racing holder may have
+			// published between our load above and our acquire.
+			if ck, n, _ := cp.diskLoad(key); ck != nil {
+				l.release()
+				return hit(ck, n)
+			}
+			ck, persist, err := cp.buildCounted(w, cfg, withSlices, warm)
+			if err == nil && persist {
+				if n := cp.diskStore(key, ck); n > 0 {
+					cp.mu.Lock()
+					cp.st.DiskStores++
+					cp.st.DiskBytes += uint64(n)
+					cp.mu.Unlock()
+					cp.gc(path)
+				}
+			}
+			l.release()
+			return ck, WarmFromSim, err
+		}
+		// A peer holds the lease; wait for its done marker (or its death).
+		if !waited {
+			waited = true
+			cp.mu.Lock()
+			cp.st.SingleflightWaits++
+			cp.mu.Unlock()
+			cp.trace(stats.Event{Kind: stats.EvCkptSingleflightWait, Level: filepath.Base(path)})
+		}
+		cp.waitPeer(path, lock)
+	}
+}
+
+// lease is a held lock file plus its heartbeat. The zero/nil lease is a
+// valid no-op (degraded mode when the store directory is unusable).
+type lease struct {
+	path string
+	stop chan struct{}
+	done chan struct{}
+}
+
+// tryLease attempts to acquire the lock file. ok=false means a peer holds
+// it. An unusable store directory degrades to an uncoordinated build
+// (ok=true with a nil lease): the same warning-and-proceed contract
+// diskStore already has.
+func (cp *Checkpointer) tryLease(lock string) (*lease, bool) {
+	if err := os.MkdirAll(cp.Dir, 0o755); err != nil {
+		warnf("checkpoint store: %v", err)
+		return nil, true
+	}
+	f, err := os.OpenFile(lock, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		if os.IsExist(err) {
+			return nil, false
+		}
+		warnf("checkpoint store: lease: %v", err)
+		return nil, true
+	}
+	fmt.Fprintf(f, "pid=%d start=%s\n", os.Getpid(), time.Now().Format(time.RFC3339))
+	f.Close()
+	l := &lease{path: lock, stop: make(chan struct{}), done: make(chan struct{})}
+	go l.heartbeat()
+	return l, true
+}
+
+// heartbeat refreshes the lock's mtime so waiters can tell a slow build
+// from a dead holder.
+func (l *lease) heartbeat() {
+	defer close(l.done)
+	t := time.NewTicker(leaseHeartbeat)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-t.C:
+			now := time.Now()
+			os.Chtimes(l.path, now, now)
+		}
+	}
+}
+
+// release stops the heartbeat and unlinks the lock.
+func (l *lease) release() {
+	if l == nil {
+		return
+	}
+	close(l.stop)
+	<-l.done
+	os.Remove(l.path)
+}
+
+// waitPeer blocks while a peer's lease looks alive. It returns — to the
+// caller's load-or-lease loop — when the done marker appears, the lease
+// vanishes, or the lease goes stale and has been (maybe by us) stolen.
+func (cp *Checkpointer) waitPeer(path, lock string) {
+	for {
+		time.Sleep(leasePoll)
+		if _, err := os.Stat(path); err == nil {
+			return // done marker published
+		}
+		st, err := os.Stat(lock)
+		if err != nil {
+			return // lease released (or never really there)
+		}
+		if time.Since(st.ModTime()) > leaseTTL {
+			cp.stealLease(lock)
+			return
+		}
+	}
+}
+
+// stealLease takes over a stale lock by renaming it aside. Rename is
+// atomic: of N waiters that found the same stale lease, exactly one
+// rename succeeds, and a *fresh* lease created by the winner can never be
+// removed by the losers (their rename of the old name fails with ENOENT).
+func (cp *Checkpointer) stealLease(lock string) bool {
+	aside := fmt.Sprintf("%s.stale.%d.%d", lock, os.Getpid(), staleLeaseSeq.Add(1))
+	if err := os.Rename(lock, aside); err != nil {
+		return false
+	}
+	os.Remove(aside)
+	if staleLeaseWarned.CompareAndSwap(false, true) {
+		warnf("checkpoint store: took over stale lease %s — previous holder died or stalled mid-build; rebuilding",
+			filepath.Base(lock))
+	}
+	cp.mu.Lock()
+	cp.st.LeaseTakeovers++
+	cp.mu.Unlock()
+	cp.trace(stats.Event{Kind: stats.EvCkptLeaseTakeover, Level: filepath.Base(lock)})
+	return true
+}
+
+// gc enforces MaxBytes over the store directory, evicting entries in
+// least-recently-used order (mtime; loads touch their entry). keep is the
+// just-written entry, exempt so a too-small bound cannot evict the
+// checkpoint its own writer is about to use. Best-effort: a concurrent
+// eviction of the same file, or a reader holding a deleted inode open, is
+// harmless on POSIX.
+func (cp *Checkpointer) gc(keep string) {
+	if cp.MaxBytes <= 0 || cp.Dir == "" {
+		return
+	}
+	ents, err := os.ReadDir(cp.Dir)
+	if err != nil {
+		return
+	}
+	type entry struct {
+		path  string
+		size  int64
+		mtime time.Time
+	}
+	var files []entry
+	var total int64
+	for _, de := range ents {
+		if de.IsDir() || filepath.Ext(de.Name()) != ".ckpt" {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, entry{filepath.Join(cp.Dir, de.Name()), info.Size(), info.ModTime()})
+		total += info.Size()
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mtime.Before(files[j].mtime) })
+	for _, f := range files {
+		if total <= cp.MaxBytes {
+			return
+		}
+		if f.path == keep {
+			continue
+		}
+		if os.Remove(f.path) != nil {
+			continue
+		}
+		total -= f.size
+		cp.mu.Lock()
+		cp.st.Evictions++
+		cp.st.EvictedBytes += uint64(f.size)
+		cp.mu.Unlock()
+		cp.trace(stats.Event{Kind: stats.EvCkptEvict, Level: filepath.Base(f.path), N: uint64(f.size)})
+	}
+}

@@ -1,0 +1,55 @@
+package sweepd
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/harness"
+)
+
+// runItem is one scheduled simulation: the canonical RunSpec plus the
+// prefilled result record and its place in the priority queue.
+type runItem struct {
+	spec     harness.RunSpec
+	oracle   bool
+	priority int
+	seq      int64 // global admission order, the FIFO tiebreaker
+	enqueued time.Time
+	sw       *sweepState
+	rec      Record
+}
+
+// sweepState tracks one admitted sweep across the queue, the workers, and
+// the streaming response handler.
+type sweepState struct {
+	id      string
+	total   int
+	started time.Time
+	// results is buffered to total, so workers never block on a slow (or
+	// departed) client; the handler drains it until closed.
+	results   chan Record
+	pending   atomic.Int32
+	cancelled atomic.Bool
+}
+
+// runHeap orders queued runs by priority (higher first), then admission
+// order (FIFO). It implements container/heap.Interface.
+type runHeap []*runItem
+
+func (h runHeap) Len() int { return len(h) }
+func (h runHeap) Less(i, j int) bool {
+	if h[i].priority != h[j].priority {
+		return h[i].priority > h[j].priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h runHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *runHeap) Push(x any)   { *h = append(*h, x.(*runItem)) }
+func (h *runHeap) Pop() (it any) {
+	old := *h
+	n := len(old)
+	it = old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return
+}

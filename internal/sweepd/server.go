@@ -1,0 +1,419 @@
+package sweepd
+
+import (
+	"container/heap"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/stats"
+)
+
+// Server schedules sweeps over one shared harness.Engine. Construct with
+// New, serve Handler() over HTTP, Close on shutdown.
+//
+// Concurrency model: the HTTP handlers only admit work and drain result
+// channels; all simulation happens on the Workers pool, which pulls from
+// one priority queue. Shard fairness comes from the queue being per-run,
+// not per-sweep: a 1000-run sweep and a 3-run sweep at equal priority
+// interleave by admission order instead of the big one starving the small
+// one for its whole duration.
+type Server struct {
+	eng      *harness.Engine
+	workers  int
+	capacity int
+	// Tracer, when non-nil, receives queue events (EvSweepEnqueue /
+	// EvSweepDequeue / EvSweepReject). Set before Start.
+	Tracer stats.Tracer
+	// Logf, when non-nil, receives one line per admitted/finished/rejected
+	// sweep (the -v hook). Set before Start.
+	Logf func(format string, args ...any)
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   runHeap
+	seq     int64
+	nextID  int64
+	sweeps  map[string]*sweepState
+	qs      QueueStats
+	closed  bool
+	started bool
+	wg      sync.WaitGroup
+}
+
+// New builds a server over eng. workers ≤ 0 selects GOMAXPROCS; capacity
+// ≤ 0 selects 4096 queued runs. Call Start before serving.
+func New(eng *harness.Engine, workers, capacity int) *Server {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	s := &Server{eng: eng, workers: workers, capacity: capacity, sweeps: make(map[string]*sweepState)}
+	s.cond = sync.NewCond(&s.mu)
+	s.qs.Capacity = capacity
+	s.qs.Workers = workers
+	return s
+}
+
+// Engine returns the shared engine (for callers wiring checkpointers or
+// oracles before Start).
+func (s *Server) Engine() *harness.Engine { return s.eng }
+
+// Start launches the worker pool. Idempotent.
+func (s *Server) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started || s.closed {
+		return
+	}
+	s.started = true
+	for i := 0; i < s.workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+// Close stops accepting sweeps, abandons queued runs, and waits for
+// in-flight simulations to finish. Queued-but-unclaimed runs of live
+// sweeps are reported as skipped so streams terminate cleanly.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	abandoned := s.queue
+	s.queue = nil
+	s.qs.Depth = 0
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	for _, it := range abandoned {
+		it.rec.Skipped = true
+		it.finish(s)
+	}
+	s.wg.Wait()
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+func (s *Server) trace(ev stats.Event) {
+	if s.Tracer != nil {
+		s.Tracer.Emit(ev)
+	}
+}
+
+// Handler returns the HTTP API:
+//
+//	POST   /v1/sweeps        submit a SweepSpec, stream NDJSON Records
+//	DELETE /v1/sweeps/{id}   cancel a sweep's queued runs
+//	GET    /v1/stats         StatsDoc (engine + queue telemetry)
+//	GET    /healthz          liveness
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
+	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// writeJSONError writes one terminal error Record with an HTTP status.
+func writeJSONError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(Record{Type: "error", Schema: Schema, Error: fmt.Sprintf(format, args...)})
+}
+
+// statsEvery interleaves one telemetry record per this many run records.
+const statsEvery = 16
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec SweepSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&spec); err != nil {
+		writeJSONError(w, http.StatusBadRequest, "bad sweep spec: %v", err)
+		return
+	}
+	if spec.Schema != "" && spec.Schema != Schema {
+		writeJSONError(w, http.StatusBadRequest, "schema %q not supported (want %q)", spec.Schema, Schema)
+		return
+	}
+	p := s.eng.Params
+	if spec.Scale > 0 {
+		p.Scale = spec.Scale
+	}
+	items, err := expand(p, spec)
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, "bad sweep spec: %v", err)
+		return
+	}
+	if len(items) == 0 {
+		writeJSONError(w, http.StatusBadRequest, "sweep expands to zero runs")
+		return
+	}
+
+	sw, depth, retry := s.admit(items)
+	if sw == nil {
+		if retry < 0 {
+			writeJSONError(w, http.StatusServiceUnavailable, "server shutting down")
+			return
+		}
+		// Backpressure: the queue cannot absorb this sweep. 429 with a
+		// Retry-After derived from observed run wall time.
+		s.trace(stats.Event{Kind: stats.EvSweepReject, N: uint64(depth)})
+		s.logf("reject: %d runs over capacity (depth %d/%d), retry in %ds",
+			len(items), depth, s.capacity, retry)
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(Record{
+			Type: "error", Schema: Schema,
+			Error:         fmt.Sprintf("queue full: %d queued + %d requested > capacity %d", depth, len(items), s.capacity),
+			QueueDepth:    depth,
+			RetryAfterSec: retry,
+		})
+		return
+	}
+	s.logf("sweep %s: %d runs admitted (queue depth %d)", sw.id, len(items), depth)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	enc.Encode(Record{Type: "accepted", Schema: Schema, Sweep: sw.id, Runs: sw.total, QueueDepth: depth})
+	flush()
+
+	var completed, errors, skips int
+	done := r.Context().Done()
+	for {
+		select {
+		case rec, ok := <-sw.results:
+			if !ok {
+				st := s.eng.Stats().Export()
+				qs := s.queueStats()
+				enc.Encode(Record{
+					Type: "done", Schema: Schema, Sweep: sw.id,
+					Completed: completed, Errors: errors, Skips: skips,
+					Cancelled: sw.cancelled.Load(),
+					ElapsedMS: time.Since(sw.started).Milliseconds(),
+					Engine:    &st, Queue: &qs,
+				})
+				flush()
+				s.logf("sweep %s: done (%d completed, %d errors, %d skipped)", sw.id, completed, errors, skips)
+				return
+			}
+			switch {
+			case rec.Skipped:
+				skips++
+			case rec.Err != "":
+				errors++
+			default:
+				completed++
+			}
+			rec.Sweep = sw.id
+			enc.Encode(rec)
+			if completed%statsEvery == 0 && completed > 0 && rec.Err == "" && !rec.Skipped {
+				st := s.eng.Stats().Export()
+				qs := s.queueStats()
+				enc.Encode(Record{Type: "stats", Sweep: sw.id, Engine: &st, Queue: &qs})
+			}
+			flush()
+		case <-done:
+			// Client gone: cancel this sweep's queued runs, then keep
+			// draining so the sweep retires and the stream goroutine
+			// exits (writes to a departed client are discarded by
+			// net/http). A nil channel blocks forever, so this case
+			// fires once.
+			done = nil
+			sw.cancelled.Store(true)
+			s.logf("sweep %s: client gone, cancelling queued runs", sw.id)
+		}
+	}
+}
+
+// admit enqueues a sweep's runs under the capacity bound. Returns the
+// sweep (nil if refused), the queue depth observed, and — when refused —
+// the suggested retry delay in seconds (−1 means the server is closed).
+func (s *Server) admit(items []*runItem) (*sweepState, int, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || !s.started {
+		return nil, 0, -1
+	}
+	if s.qs.Depth+len(items) > s.capacity {
+		s.qs.Rejected++
+		return nil, s.qs.Depth, s.retryAfterLocked()
+	}
+	s.nextID++
+	sw := &sweepState{
+		id:      fmt.Sprintf("s%06d", s.nextID),
+		total:   len(items),
+		started: time.Now(),
+		results: make(chan Record, len(items)),
+	}
+	sw.pending.Store(int32(len(items)))
+	s.sweeps[sw.id] = sw
+	s.qs.ActiveSweeps = len(s.sweeps)
+	now := time.Now()
+	for _, it := range items {
+		it.sw = sw
+		it.rec.Sweep = sw.id
+		it.enqueued = now
+		s.seq++
+		it.seq = s.seq
+		heap.Push(&s.queue, it)
+		s.qs.Depth++
+		s.qs.Enqueued++
+	}
+	if s.qs.Depth > s.qs.Peak {
+		s.qs.Peak = s.qs.Depth
+	}
+	s.trace(stats.Event{Kind: stats.EvSweepEnqueue, Level: sw.id, N: uint64(s.qs.Depth)})
+	s.cond.Broadcast()
+	return sw, s.qs.Depth, 0
+}
+
+// retryAfterLocked estimates seconds until meaningful queue headroom:
+// observed mean simulation wall time × queued runs ÷ workers, clamped to
+// [1s, 5min]. Callers hold s.mu.
+func (s *Server) retryAfterLocked() int {
+	st := s.eng.Stats()
+	mean := 250 * time.Millisecond // prior before any run finishes
+	if st.Misses > 0 {
+		mean = st.SimWall / time.Duration(st.Misses)
+	}
+	est := mean * time.Duration(s.qs.Depth) / time.Duration(s.workers)
+	sec := int(est / time.Second)
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 300 {
+		sec = 300
+	}
+	return sec
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	sw := s.sweeps[id]
+	s.mu.Unlock()
+	if sw == nil {
+		writeJSONError(w, http.StatusNotFound, "unknown sweep %q", id)
+		return
+	}
+	sw.cancelled.Store(true)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	json.NewEncoder(w).Encode(Record{Type: "done", Schema: Schema, Sweep: id, Cancelled: true})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	doc := StatsDoc{Schema: Schema, Engine: s.eng.Stats().Export(), Queue: s.queueStats()}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(doc)
+}
+
+func (s *Server) queueStats() QueueStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.qs
+}
+
+// worker pulls runs off the queue until Close.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		it, ok := s.pop()
+		if !ok {
+			return
+		}
+		s.execute(it)
+	}
+}
+
+func (s *Server) pop() (*runItem, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.queue) == 0 && !s.closed {
+		s.cond.Wait()
+	}
+	if s.closed {
+		return nil, false
+	}
+	it := heap.Pop(&s.queue).(*runItem)
+	s.qs.Depth--
+	wait := time.Since(it.enqueued).Milliseconds()
+	it.rec.QueueMS = wait
+	s.qs.WaitMSTotal += wait
+	if wait > s.qs.WaitMSMax {
+		s.qs.WaitMSMax = wait
+	}
+	s.trace(stats.Event{Kind: stats.EvSweepDequeue, Level: it.sw.id, N: uint64(s.qs.Depth)})
+	return it, true
+}
+
+// execute runs one item (or skips it if its sweep was cancelled) and
+// delivers its record.
+func (s *Server) execute(it *runItem) {
+	if it.sw.cancelled.Load() {
+		it.rec.Skipped = true
+		it.finish(s)
+		return
+	}
+	res, memoized, err := s.eng.RunTracked(it.spec, it.oracle)
+	if err != nil {
+		it.rec.Err = err.Error()
+		it.finish(s)
+		return
+	}
+	sim := res.Stats()
+	it.rec.Cycles = sim.Cycles
+	it.rec.Insts = sim.MainRetired
+	it.rec.IPC = sim.IPC()
+	it.rec.Mispredicts = sim.Mispredicts
+	it.rec.LoadMisses = sim.LoadMisses
+	it.rec.WallMS = res.Wall.Milliseconds()
+	it.rec.Memoized = memoized
+	it.finish(s)
+}
+
+// finish delivers the record and retires the run from its sweep,
+// closing the stream after the last one.
+func (it *runItem) finish(s *Server) {
+	sw := it.sw
+	sw.results <- it.rec
+	s.mu.Lock()
+	if it.rec.Skipped {
+		s.qs.Skipped++
+	} else {
+		s.qs.Completed++
+	}
+	s.mu.Unlock()
+	if sw.pending.Add(-1) == 0 {
+		close(sw.results)
+		s.mu.Lock()
+		delete(s.sweeps, sw.id)
+		s.qs.ActiveSweeps = len(s.sweeps)
+		s.mu.Unlock()
+	}
+}

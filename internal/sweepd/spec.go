@@ -1,0 +1,249 @@
+// Package sweepd is the sharded sweep service: a long-running HTTP server
+// that accepts sweep specs (workload × config grids), expands them into
+// the harness's canonical RunSpecs, schedules them on a bounded
+// priority-queued worker pool, and streams per-run results and engine
+// telemetry back as NDJSON. All sweeps share one harness.Engine — one
+// memo, one warm-checkpoint cache — so N clients submitting overlapping
+// grids cost one simulation per unique run, and a shared -checkpoint-dir
+// extends that economy across server restarts and across a fleet of
+// servers (cross-process single-flight; see internal/harness/store.go).
+package sweepd
+
+import (
+	"fmt"
+
+	"repro/internal/bpred"
+	"repro/internal/cpu"
+	"repro/internal/harness"
+	"repro/internal/workloads"
+)
+
+// Schema versions the sweep API: request bodies and every NDJSON record
+// carry it. Bump on any incompatible change; additive fields ride on the
+// same tag like the specslice-experiments document does.
+const Schema = "specslice-sweep/1"
+
+// SweepSpec is one submitted sweep: the cross product of Workloads and
+// Configs. Empty Workloads means every registered workload; empty Configs
+// means one baseline 4-wide leg.
+type SweepSpec struct {
+	// Schema, when set, must equal Schema; empty is accepted as current.
+	Schema string `json:"schema,omitempty"`
+	// Workloads lists workload names (workloads.ByName); empty = all.
+	Workloads []string `json:"workloads,omitempty"`
+	// Configs lists machine legs; empty = one default leg.
+	Configs []ConfigSpec `json:"configs,omitempty"`
+	// Scale overrides the server's region scale for this sweep (0 = server
+	// default). Runs at different scales never share simulations.
+	Scale float64 `json:"scale,omitempty"`
+	// Priority orders sweeps in the queue: higher first, FIFO within a
+	// priority level.
+	Priority int `json:"priority,omitempty"`
+	// Oracle forces the differential oracle onto every run of this sweep
+	// (already-memoized runs are recalled as-is; see Engine.RunValidated).
+	Oracle bool `json:"oracle,omitempty"`
+}
+
+// ConfigSpec is one machine leg of a sweep, the JSON-friendly projection
+// of cpu.Config the API exposes. The zero value is the paper's baseline
+// 4-wide machine.
+type ConfigSpec struct {
+	// Label is echoed on result records; empty derives one ("4-wide",
+	// "8-wide+slices", ...). It does not affect the simulation or its
+	// memo key.
+	Label string `json:"label,omitempty"`
+	// Width selects the machine: 4 (default) or 8.
+	Width int `json:"width,omitempty"`
+	// WithSlices measures with the workload's hand-built slices.
+	WithSlices bool `json:"withSlices,omitempty"`
+	// SlicePredictionsOff disables PGI allocation (prefetch-only slices).
+	SlicePredictionsOff bool `json:"slicePredictionsOff,omitempty"`
+	// BPred / IPred override the direction / indirect predictor (registry
+	// spec, e.g. "gshare:4096,10"); empty keeps the server default.
+	BPred string `json:"bpred,omitempty"`
+	IPred string `json:"ipred,omitempty"`
+}
+
+// resolve maps the leg onto a cpu.Config. The driver-built names
+// ("4-wide", "8-wide") are preserved — Config.Name is part of the memo
+// fingerprint, so renaming would needlessly split cache entries.
+func (c ConfigSpec) resolve() (cpu.Config, error) {
+	var cfg cpu.Config
+	switch c.Width {
+	case 0, 4:
+		cfg = cpu.Config4Wide()
+	case 8:
+		cfg = cpu.Config8Wide()
+	default:
+		return cfg, fmt.Errorf("width %d: want 4 or 8", c.Width)
+	}
+	if _, err := bpred.NewDir(c.BPred); err != nil {
+		return cfg, err
+	}
+	if _, err := bpred.NewIndirect(c.IPred); err != nil {
+		return cfg, err
+	}
+	cfg.BPred = c.BPred
+	cfg.IndirectPred = c.IPred
+	cfg.SlicePredictionsOff = c.SlicePredictionsOff
+	return cfg, nil
+}
+
+// label derives the echoed config label.
+func (c ConfigSpec) label() string {
+	if c.Label != "" {
+		return c.Label
+	}
+	width := 4
+	if c.Width != 0 {
+		width = c.Width
+	}
+	l := fmt.Sprintf("%d-wide", width)
+	if c.WithSlices {
+		l += "+slices"
+	}
+	if c.SlicePredictionsOff {
+		l += "+nopred"
+	}
+	if c.BPred != "" {
+		l += "+bpred=" + c.BPred
+	}
+	if c.IPred != "" {
+		l += "+ipred=" + c.IPred
+	}
+	return l
+}
+
+// expand turns a sweep into scheduled runs under the engine params p
+// (already adjusted for the sweep's Scale). Every RunSpec goes through
+// harness.SpecFor, so it carries the same memo key the experiment drivers
+// would build for the identical leg.
+func expand(p harness.Params, spec SweepSpec) ([]*runItem, error) {
+	var ws []*workloads.Workload
+	if len(spec.Workloads) == 0 {
+		ws = workloads.All()
+	} else {
+		for _, name := range spec.Workloads {
+			w, err := workloads.ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			ws = append(ws, w)
+		}
+	}
+	cfgs := spec.Configs
+	if len(cfgs) == 0 {
+		cfgs = []ConfigSpec{{}}
+	}
+	var items []*runItem
+	seq := 0
+	for _, c := range cfgs {
+		cfg, err := c.resolve()
+		if err != nil {
+			return nil, fmt.Errorf("config %q: %w", c.label(), err)
+		}
+		for _, w := range ws {
+			rs := harness.SpecFor(p, w, cfg, c.WithSlices)
+			items = append(items, &runItem{
+				spec:     rs,
+				oracle:   spec.Oracle,
+				priority: spec.Priority,
+				rec: Record{
+					Type:       "run",
+					Seq:        seq,
+					Workload:   w.Name,
+					Config:     c.label(),
+					WithSlices: c.WithSlices,
+					Warm:       rs.Warm,
+					Run:        rs.Run,
+				},
+			})
+			seq++
+		}
+	}
+	return items, nil
+}
+
+// Record is one NDJSON line of a sweep response stream. Type selects the
+// populated fields:
+//
+//	accepted  sweep admitted: Sweep, Runs, QueueDepth
+//	run       one finished simulation: identity, counters, provenance
+//	stats     periodic telemetry: Engine (the specslice-experiments
+//	          engine block), Queue
+//	done      terminal: totals plus a final Engine/Queue snapshot
+//	error     terminal failure before/while streaming
+type Record struct {
+	Type   string `json:"type"`
+	Schema string `json:"schema,omitempty"` // stamped on accepted/done/error
+	Sweep  string `json:"sweep,omitempty"`
+
+	// accepted.
+	Runs       int `json:"runs,omitempty"`
+	QueueDepth int `json:"queueDepth,omitempty"`
+
+	// run identity (prefilled at expansion).
+	Seq        int    `json:"seq,omitempty"`
+	Workload   string `json:"workload,omitempty"`
+	Config     string `json:"config,omitempty"`
+	WithSlices bool   `json:"withSlices,omitempty"`
+	Warm       uint64 `json:"warm,omitempty"`
+	Run        uint64 `json:"run,omitempty"`
+
+	// run results.
+	Cycles      uint64  `json:"cycles,omitempty"`
+	Insts       uint64  `json:"insts,omitempty"`
+	IPC         float64 `json:"ipc,omitempty"`
+	Mispredicts uint64  `json:"mispredicts,omitempty"`
+	LoadMisses  uint64  `json:"loadMisses,omitempty"`
+
+	// run provenance.
+	WallMS     int64  `json:"wallMs,omitempty"`
+	QueueMS    int64  `json:"queueMs,omitempty"`
+	Memoized   bool   `json:"memoized,omitempty"`
+	WarmSource string `json:"warmSource,omitempty"`
+	Skipped    bool   `json:"skipped,omitempty"` // sweep was cancelled first
+	Err        string `json:"err,omitempty"`
+
+	// stats / done.
+	Engine    *harness.ExportEngine `json:"engine,omitempty"`
+	Queue     *QueueStats           `json:"queue,omitempty"`
+	Completed int                   `json:"completed,omitempty"`
+	Errors    int                   `json:"errors,omitempty"`
+	Skips     int                   `json:"skips,omitempty"`
+	Cancelled bool                  `json:"cancelled,omitempty"`
+	ElapsedMS int64                 `json:"elapsedMs,omitempty"`
+
+	// error.
+	Error         string `json:"error,omitempty"`
+	RetryAfterSec int    `json:"retryAfterSec,omitempty"`
+}
+
+// StatsDoc is the GET /v1/stats document.
+type StatsDoc struct {
+	Schema string               `json:"schema"`
+	Engine harness.ExportEngine `json:"engine"`
+	Queue  QueueStats           `json:"queue"`
+}
+
+// QueueStats is the scheduler's observability block.
+type QueueStats struct {
+	// Depth is runs currently queued (not yet claimed by a worker); Peak
+	// is the high-water mark.
+	Depth int `json:"depth"`
+	Peak  int `json:"peak"`
+	// Capacity and Workers echo the server's bounds.
+	Capacity int `json:"capacity"`
+	Workers  int `json:"workers"`
+	// Enqueued/Completed/Skipped count runs; Rejected counts whole sweeps
+	// refused with 429 (backpressure).
+	Enqueued  uint64 `json:"enqueued"`
+	Completed uint64 `json:"completed"`
+	Skipped   uint64 `json:"skipped"`
+	Rejected  uint64 `json:"rejected"`
+	// ActiveSweeps is sweeps with unfinished runs.
+	ActiveSweeps int `json:"activeSweeps"`
+	// Queue latency: total and max milliseconds runs spent queued.
+	WaitMSTotal int64 `json:"waitMsTotal"`
+	WaitMSMax   int64 `json:"waitMsMax"`
+}

@@ -1,0 +1,389 @@
+package sweepd
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/harness"
+	"repro/internal/workloads"
+)
+
+// testScale keeps sweep tests fast; matches nothing the other tests cache,
+// so every test's first simulation is honest.
+const testScale = 0.15
+
+func newTestServer(t *testing.T, workers, capacity int, dir string) (*Server, *httptest.Server) {
+	t.Helper()
+	eng := harness.NewEngine(harness.Params{Scale: testScale}, workers)
+	eng.Ckpt = harness.NewCheckpointer(dir, harness.WarmDetailed)
+	s := New(eng, workers, capacity)
+	s.Start()
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		s.Close()
+	})
+	return s, hs
+}
+
+// postSweep submits spec and decodes the NDJSON stream. onAccepted, when
+// non-nil, runs after the accepted record (e.g. to cancel mid-stream).
+func postSweep(t *testing.T, url string, spec SweepSpec, onAccepted func(id string)) (recs []Record, done Record) {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/sweeps: %s", resp.Status)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	sawDone := false
+	for sc.Scan() {
+		var rec Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad record %q: %v", sc.Text(), err)
+		}
+		recs = append(recs, rec)
+		if rec.Type == "accepted" && onAccepted != nil {
+			onAccepted(rec.Sweep)
+		}
+		if rec.Type == "done" {
+			done, sawDone = rec, true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !sawDone {
+		t.Fatal("stream ended without a done record")
+	}
+	return recs, done
+}
+
+// TestSweepSubmitStream: a 2×2 grid streams an accepted record, one run
+// record per leg with real counters, and a terminal done record — and every
+// counter matches what a direct harness.Engine run of the same canonical
+// spec produces.
+func TestSweepSubmitStream(t *testing.T) {
+	_, hs := newTestServer(t, 2, 0, "")
+	spec := SweepSpec{
+		Schema:    Schema,
+		Workloads: []string{"vpr", "gzip"},
+		Configs:   []ConfigSpec{{}, {WithSlices: true}},
+	}
+	recs, done := postSweep(t, hs.URL, spec, nil)
+
+	if recs[0].Type != "accepted" || recs[0].Runs != 4 || recs[0].Sweep == "" {
+		t.Fatalf("first record = %+v, want accepted with 4 runs", recs[0])
+	}
+	var runs []Record
+	for _, r := range recs {
+		if r.Type == "run" {
+			runs = append(runs, r)
+		}
+	}
+	if len(runs) != 4 {
+		t.Fatalf("got %d run records, want 4", len(runs))
+	}
+	if done.Completed != 4 || done.Errors != 0 || done.Skips != 0 || done.Cancelled {
+		t.Errorf("done = %+v, want 4 completed", done)
+	}
+	if done.Engine == nil || done.Queue == nil {
+		t.Error("done record missing engine/queue telemetry")
+	} else if done.Queue.Enqueued != 4 || done.Queue.Completed != 4 {
+		t.Errorf("queue stats = %+v, want 4 enqueued/completed", done.Queue)
+	}
+
+	// Byte-identical to the experiment drivers: rebuild each run's spec
+	// through harness.SpecFor on a fresh engine and compare counters.
+	ref := harness.NewEngine(harness.Params{Scale: testScale}, 2)
+	for _, r := range runs {
+		if r.Err != "" || r.Skipped {
+			t.Fatalf("run %s/%s failed: %+v", r.Workload, r.Config, r)
+		}
+		w, err := workloads.ByName(r.Workload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ref.Run(harness.SpecFor(ref.Params, w, cpu.Config4Wide(), r.WithSlices))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim := res.Stats()
+		if r.Cycles != sim.Cycles || r.Insts != sim.MainRetired || r.Mispredicts != sim.Mispredicts {
+			t.Errorf("%s slices=%v: sweep (%d cyc, %d insts, %d misp) != direct (%d cyc, %d insts, %d misp)",
+				r.Workload, r.WithSlices, r.Cycles, r.Insts, r.Mispredicts,
+				sim.Cycles, sim.MainRetired, sim.Mispredicts)
+		}
+		if r.Warm == 0 || r.Run == 0 || r.IPC <= 0 {
+			t.Errorf("%s: degenerate run record %+v", r.Workload, r)
+		}
+	}
+}
+
+// TestSweepBadRequests: malformed submissions fail fast with 400 and a
+// terminal error record; nothing reaches the queue.
+func TestSweepBadRequests(t *testing.T) {
+	s, hs := newTestServer(t, 1, 0, "")
+	cases := []string{
+		`{"schema":"specslice-sweep/999"}`,
+		`{"workloads":["no-such-workload"]}`,
+		`{"configs":[{"width":6}]}`,
+		`{"configs":[{"bpred":"no-such-predictor"}]}`,
+		`not json`,
+	}
+	for _, body := range cases {
+		resp, err := http.Post(hs.URL+"/v1/sweeps", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rec Record
+		err = json.NewDecoder(resp.Body).Decode(&rec)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest || err != nil || rec.Type != "error" || rec.Error == "" {
+			t.Errorf("%q: status=%d rec=%+v err=%v, want 400 + error record", body, resp.StatusCode, rec, err)
+		}
+	}
+	if qs := s.queueStats(); qs.Enqueued != 0 {
+		t.Errorf("bad requests enqueued %d runs", qs.Enqueued)
+	}
+
+	resp, err := http.Get(hs.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", resp, err)
+	}
+	resp.Body.Close()
+}
+
+// TestSweepBackpressure429: a sweep that cannot fit in the queue is
+// refused with 429, a Retry-After header, and a terminal error record;
+// the rejection is counted and nothing simulates.
+func TestSweepBackpressure429(t *testing.T) {
+	s, hs := newTestServer(t, 1, 3, "")
+	body := `{"workloads":["vpr","gzip","mcf","eon"]}` // 4 runs > capacity 3
+	resp, err := http.Post(hs.URL+"/v1/sweeps", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %s, want 429", resp.Status)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" {
+		t.Errorf("Retry-After = %q, want a positive estimate", ra)
+	}
+	var rec Record
+	if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Type != "error" || rec.RetryAfterSec < 1 || rec.Error == "" {
+		t.Errorf("429 record = %+v, want error with RetryAfterSec >= 1", rec)
+	}
+	qs := s.queueStats()
+	if qs.Rejected != 1 || qs.Enqueued != 0 {
+		t.Errorf("queue stats after reject = %+v, want 1 rejected, 0 enqueued", qs)
+	}
+	if st := s.Engine().Stats(); st.Misses != 0 {
+		t.Errorf("rejected sweep still simulated %d runs", st.Misses)
+	}
+
+	// A sweep that fits is admitted afterwards — rejection is per-sweep
+	// backpressure, not a latch.
+	_, done := postSweep(t, hs.URL, SweepSpec{Workloads: []string{"vpr"}}, nil)
+	if done.Completed != 1 || done.Errors != 0 {
+		t.Errorf("follow-up sweep: %+v, want 1 completed", done)
+	}
+}
+
+// TestSweepCancel: DELETE /v1/sweeps/{id} mid-stream skips the queued
+// remainder; the stream still terminates with a done record that reports
+// the cancellation.
+func TestSweepCancel(t *testing.T) {
+	_, hs := newTestServer(t, 1, 0, "")
+	spec := SweepSpec{Configs: []ConfigSpec{{}, {WithSlices: true}}} // all workloads × 2
+	recs, done := postSweep(t, hs.URL, spec, func(id string) {
+		req, err := http.NewRequest(http.MethodDelete, hs.URL+"/v1/sweeps/"+id, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("cancel: %s", resp.Status)
+		}
+	})
+	total := recs[0].Runs
+	if !done.Cancelled {
+		t.Error("done record not marked cancelled")
+	}
+	if done.Skips == 0 {
+		t.Error("cancel skipped zero runs")
+	}
+	if done.Completed+done.Errors+done.Skips != total {
+		t.Errorf("accounting: %d+%d+%d != %d runs", done.Completed, done.Errors, done.Skips, total)
+	}
+
+	// Cancelling an unknown (or already-retired) sweep is a 404.
+	req, _ := http.NewRequest(http.MethodDelete, hs.URL+"/v1/sweeps/nope", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("cancel unknown sweep: %s, want 404", resp.Status)
+	}
+}
+
+// TestSweepFleetSingleFlight is the acceptance load test: two sweepd
+// servers (independent engines — separate memos, separate processes in
+// all but address space) share one checkpoint directory; four clients
+// submit the full 12-workload grid concurrently. Zero duplicate warm
+// simulations fleet-wide, and every client sees identical counters.
+func TestSweepFleetSingleFlight(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-server load test")
+	}
+	dir := t.TempDir()
+	grid := SweepSpec{Scale: 0.05, Configs: []ConfigSpec{{}}} // all workloads, baseline leg
+	nWorkloads := len(workloads.All())
+
+	srvA, hsA := newTestServer(t, 4, 0, dir)
+	srvB, hsB := newTestServer(t, 4, 0, dir)
+
+	type client struct {
+		url  string
+		runs map[string]Record
+		done Record
+	}
+	clients := []*client{{url: hsA.URL}, {url: hsB.URL}, {url: hsA.URL}, {url: hsB.URL}}
+	var wg sync.WaitGroup
+	for _, c := range clients {
+		wg.Add(1)
+		go func(c *client) {
+			defer wg.Done()
+			recs, done := postSweep(t, c.url, grid, nil)
+			c.done = done
+			c.runs = make(map[string]Record)
+			for _, r := range recs {
+				if r.Type == "run" {
+					c.runs[r.Workload] = r
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	for i, c := range clients {
+		if c.done.Completed != nWorkloads || c.done.Errors != 0 || c.done.Skips != 0 {
+			t.Fatalf("client %d: done = %+v, want %d completed", i, c.done, nWorkloads)
+		}
+	}
+
+	// Zero duplicate warm simulations beyond the first build per key,
+	// fleet-wide: both engines needed all 12 warm prefixes, but between
+	// them they built each exactly once (the rest came off the shared
+	// store, racing builders collapsed by the lock-file lease).
+	stA, stB := srvA.Engine().Stats(), srvB.Engine().Stats()
+	ckA, ckB := stA.Checkpoints, stB.Checkpoints
+	if got := ckA.WarmMisses + ckB.WarmMisses; got != uint64(nWorkloads) {
+		t.Errorf("fleet warm simulations = %d (A %d + B %d), want %d — duplicate warm builds",
+			got, ckA.WarmMisses, ckB.WarmMisses, nWorkloads)
+	}
+	if ckA.SingleflightHits != ckA.SingleflightWaits || ckB.SingleflightHits != ckB.SingleflightWaits {
+		t.Errorf("singleflight waits unresolved by peers: A %d/%d, B %d/%d",
+			ckA.SingleflightHits, ckA.SingleflightWaits, ckB.SingleflightHits, ckB.SingleflightWaits)
+	}
+	if ckA.LeaseTakeovers+ckB.LeaseTakeovers != 0 {
+		t.Errorf("lease takeovers = %d, want 0", ckA.LeaseTakeovers+ckB.LeaseTakeovers)
+	}
+	// Within each engine, the two clients' identical grids collapse in the
+	// memo: one simulation per unique run, one memo hit.
+	for name, st := range map[string]harness.EngineStats{"A": stA, "B": stB} {
+		if st.Misses != uint64(nWorkloads) || st.Hits != uint64(nWorkloads) {
+			t.Errorf("engine %s: %d misses / %d hits, want %d/%d", name, st.Misses, st.Hits, nWorkloads, nWorkloads)
+		}
+	}
+
+	// Determinism across the fleet: all four clients agree on every
+	// counter of every workload.
+	ref := clients[0].runs
+	for i, c := range clients[1:] {
+		for wname, r := range c.runs {
+			r0 := ref[wname]
+			if r.Cycles != r0.Cycles || r.Insts != r0.Insts || r.Mispredicts != r0.Mispredicts || r.LoadMisses != r0.LoadMisses {
+				t.Errorf("client %d %s: (%d cyc, %d insts) != client 0 (%d cyc, %d insts)",
+					i+1, wname, r.Cycles, r.Insts, r0.Cycles, r0.Insts)
+			}
+		}
+	}
+}
+
+// BenchmarkSweepService measures end-to-end sweep throughput: N clients
+// submitting the same 4-workload grid against one fresh server per
+// iteration. dup-warm-sims/op is the duplicate-build metric the load test
+// asserts to be zero; runs/op scales with clients while warm-sims/op must
+// not.
+func BenchmarkSweepService(b *testing.B) {
+	grid := SweepSpec{Scale: 0.05, Workloads: []string{"vpr", "gzip", "mcf", "eon"}}
+	for _, clients := range []int{1, 4} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				eng := harness.NewEngine(harness.Params{Scale: testScale}, 4)
+				eng.Ckpt = harness.NewCheckpointer(b.TempDir(), harness.WarmDetailed)
+				s := New(eng, 4, 0)
+				s.Start()
+				hs := httptest.NewServer(s.Handler())
+
+				var wg sync.WaitGroup
+				for c := 0; c < clients; c++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						body, _ := json.Marshal(grid)
+						resp, err := http.Post(hs.URL+"/v1/sweeps", "application/json", bytes.NewReader(body))
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						sc := bufio.NewScanner(resp.Body)
+						sc.Buffer(make([]byte, 1<<20), 1<<20)
+						for sc.Scan() {
+						}
+						resp.Body.Close()
+					}()
+				}
+				wg.Wait()
+
+				st := eng.Stats()
+				b.ReportMetric(float64(st.Checkpoints.WarmMisses-4), "dup-warm-sims/op")
+				b.ReportMetric(float64(st.Misses), "sims/op")
+				b.ReportMetric(float64(st.Hits), "memo-hits/op")
+
+				hs.Close()
+				s.Close()
+			}
+		})
+	}
+}
