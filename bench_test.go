@@ -238,7 +238,13 @@ func TestCycleLoopAllocBudget(t *testing.T) {
 
 	allocs := after.Mallocs - before.Mallocs
 	perInst := float64(allocs) / float64(s.MainRetired)
-	t.Logf("%d allocs over %d retired instructions (%.4f/inst)", allocs, s.MainRetired, perInst)
+	t.Logf("%d allocs over %d retired instructions, %d forks (%.4f/inst)",
+		allocs, s.MainRetired, s.Forks, perInst)
+	// The region must actually exercise the fork path, or the budget says
+	// nothing about per-fork allocations (e.g. live-in capture).
+	if s.Forks == 0 {
+		t.Error("measured region forked no slices; alloc budget does not cover the fork path")
+	}
 	if perInst > 1.0 {
 		t.Errorf("cycle loop allocated %.2f/inst, budget is 1.0 — pooling regressed", perInst)
 	}

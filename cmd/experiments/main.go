@@ -9,7 +9,8 @@
 //	experiments -exp table4     detailed slice-execution statistics
 //	experiments -exp figurepred slices vs value/correlation/perfect predictors
 //	experiments -exp figureauto auto-constructed vs hand-built slices (closed loop)
-//	experiments -exp all        everything above except figurepred/figureauto
+//	experiments -exp figuremp   multi-programmed SMT contention (co-scheduled pairs/quads)
+//	experiments -exp all        everything above except figurepred/figureauto/figuremp
 //
 // -scale shrinks the measured regions for quick runs (1.0 ≈ a few hundred
 // thousand instructions per run; the paper used 100M-instruction regions).
@@ -19,8 +20,9 @@
 // runs) execute once. -jobs bounds the worker pool (default GOMAXPROCS);
 // -v prints one line per simulation plus a final hit/miss summary.
 //
-// -json runs every experiment (including figurepred and figureauto) and
-// emits one machine-readable document (schema specslice-experiments/5)
+// -json runs every experiment (including figurepred, figureauto, and
+// figuremp) and emits one machine-readable document (schema
+// specslice-experiments/6)
 // containing all tables and figures, for bench trajectories and plotting
 // scripts.
 //
@@ -69,7 +71,7 @@ func printSummary(e *harness.Engine) {
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "table1|table2|figure1|table3|figure11|table4|figurepred|figureauto|all")
+		exp      = flag.String("exp", "all", "table1|table2|figure1|table3|figure11|table4|figurepred|figureauto|figuremp|all")
 		scale    = flag.Float64("scale", 1.0, "region scale factor")
 		only     = flag.String("workload", "", "restrict to one workload")
 		jobs     = flag.Int("jobs", 0, "max concurrent simulations (0 = GOMAXPROCS)")
@@ -209,8 +211,13 @@ func main() {
 	if *exp == "figureauto" {
 		runExp("figureauto", func() { fmt.Print(harness.FormatFigureAuto(e.FigureAuto(ws))) })
 	}
+	// figuremp is explicit-only too: the multi-programmed contention study
+	// is an extension beyond the paper's single-program evaluation.
+	if *exp == "figuremp" {
+		runExp("figuremp", func() { fmt.Print(harness.FormatFigureMP(e.FigureMP(ws))) })
+	}
 	switch *exp {
-	case "all", "table1", "table2", "figure1", "table3", "figure11", "table4", "figurepred", "figureauto":
+	case "all", "table1", "table2", "figure1", "table3", "figure11", "table4", "figurepred", "figureauto", "figuremp":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(1)

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"repro/internal/bpred"
 	"repro/internal/cpu"
@@ -55,6 +56,7 @@ func writeOracleReport(path string, err error) {
 func main() {
 	var (
 		name     = flag.String("workload", "vpr", "workload name (see -list)")
+		multi    = flag.String("multiprog", "", "co-schedule 2-4 comma-separated workloads (e.g. vpr,mcf); overrides -workload")
 		list     = flag.Bool("list", false, "list workloads and exit")
 		slices   = flag.Bool("slices", false, "enable the speculative slice hardware")
 		wide8    = flag.Bool("wide8", false, "use the 8-wide machine (default 4-wide)")
@@ -88,6 +90,12 @@ func main() {
 		for _, w := range workloads.All() {
 			fmt.Printf("%-8s %s\n", w.Name, w.Description)
 		}
+		return
+	}
+
+	if *multi != "" {
+		runMulti(*multi, *slices, *warmup, *run, *bpredFlg, *ipredFlg,
+			harness.OracleOptions{Enabled: *useOrc, Every: *orcEvery}, *orcOut, *asJSON)
 		return
 	}
 
@@ -228,6 +236,71 @@ func main() {
 				st.PC, kind, st.Execs, st.Misses, st.Mispredicts)
 		}
 	}
+}
+
+// runMulti is the -multiprog mode: co-schedule several workloads on one
+// core (multi-programmed SMT) and report per-program statistics.
+// Multi-programmed cores cannot be checkpointed, so the warm region runs
+// inline and -checkpoint-dir/-warm do not apply; when the oracle is on it
+// observes the warm region too.
+func runMulti(list string, withSlices bool, warm, run uint64, bpredSpec, ipredSpec string, o harness.OracleOptions, orcOut string, asJSON bool) {
+	var group []*workloads.Workload
+	for _, n := range strings.Split(list, ",") {
+		w, err := workloads.ByName(strings.TrimSpace(n))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		group = append(group, w)
+	}
+	p := harness.Params{BPred: bpredSpec, IndirectPred: ipredSpec}
+	snap, err := harness.RunMP(group, p, withSlices, warm, run, o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "slicesim:", err)
+		writeOracleReport(orcOut, err)
+		os.Exit(1)
+	}
+	if o.Enabled {
+		fmt.Fprintln(os.Stderr, "slicesim: oracle: all programs validated, no divergence")
+	}
+
+	sched := make([]string, len(group))
+	for i, w := range group {
+		sched[i] = w.Name
+	}
+	if asJSON {
+		out := map[string]any{
+			"schedule": strings.Join(sched, "+"),
+			"machine":  fmt.Sprintf("mp%d-4wide", len(group)),
+			"slices":   withSlices,
+			"snapshot": &snap,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("schedule   %s (mp%d-4wide, slices=%v)\n", strings.Join(sched, "+"), len(group), withSlices)
+	var throughput float64
+	for i, w := range group {
+		s := &snap.Progs[i]
+		throughput += s.IPC()
+		fmt.Printf("p%d %-8s retired %d in %d cycles (IPC %.3f); branches %d (%d misp), loads %d (%d missed)\n",
+			i, w.Name, s.MainRetired, s.Cycles, s.IPC(), s.Branches, s.Mispredicts, s.Loads, s.LoadMisses)
+		if withSlices {
+			acc := 0.0
+			if n := s.PredsCorrect + s.PredsIncorrect; n > 0 {
+				acc = float64(s.PredsCorrect) / float64(n) * 100
+			}
+			fmt.Printf("   slices: %d forks, %d preds used (%.1f%% correct), %d prefetches\n",
+				s.Forks, s.PredsUsed+s.PredsLateUsed, acc, s.SlicePrefetches)
+		}
+	}
+	fmt.Printf("throughput %.3f IPC (sum of per-program IPCs)\n", throughput)
 }
 
 // openTracer builds the requested trace sink. cleanup flushes the sink's

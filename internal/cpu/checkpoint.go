@@ -147,14 +147,18 @@ func (c *Core) Quiesce() error {
 	if err := c.hier.PruneFills(c.now); err != nil {
 		return err
 	}
-	c.main.Fetching = !c.mainHalted
+	for _, p := range c.progs {
+		p.main.Fetching = !p.halted
+	}
 	return nil
 }
 
 // drained reports whether nothing is in flight anywhere.
 func (c *Core) drained() bool {
-	if c.main.rob.len() != 0 || c.main.fetchq.len() != 0 {
-		return false
+	for _, p := range c.progs {
+		if p.main.rob.len() != 0 || p.main.fetchq.len() != 0 {
+			return false
+		}
 	}
 	for _, t := range c.threads {
 		if !t.IsMain && t.Alive {
@@ -167,17 +171,25 @@ func (c *Core) drained() bool {
 // Checkpoint quiesces the core and captures its state. The core remains
 // usable afterwards (its memory turns copy-on-write); continuing to run it
 // is exactly equivalent to restoring the checkpoint into a fresh core.
+//
+// Multi-programmed cores do not checkpoint: co-scheduled runs warm inline
+// (the contention during warm-up is part of the scenario, and no two
+// co-schedules share a warm prefix anyway).
 func (c *Core) Checkpoint() (*Checkpoint, error) {
+	if len(c.progs) > 1 {
+		return nil, fmt.Errorf("cpu: checkpointing a %d-program core is not supported; multi-programmed runs warm inline", len(c.progs))
+	}
 	if err := c.Quiesce(); err != nil {
 		return nil, err
 	}
-	if c.mainStores.len() != 0 {
-		return nil, fmt.Errorf("cpu: %d committed-store records survived the drain", c.mainStores.len())
+	p := c.progs[0]
+	if p.mainStores.len() != 0 {
+		return nil, fmt.Errorf("cpu: %d committed-store records survived the drain", p.mainStores.len())
 	}
 	ck := &Checkpoint{
 		Now:          c.now,
 		Seq:          c.seq,
-		MainHalted:   c.mainHalted,
+		MainHalted:   p.halted,
 		WarmRetired:  c.S.MainRetired,
 		PC:           c.main.PC,
 		Regs:         c.main.Regs,
@@ -192,16 +204,16 @@ func (c *Core) Checkpoint() (*Checkpoint, error) {
 		PVB:          c.hier.PVB.State(),
 		Pref:         c.hier.Pref.State(),
 		Hier:         c.hier.State(),
-		Mem:          c.mem.Snapshot(),
+		Mem:          p.mem.Snapshot(),
 	}
 	for _, t := range c.threads {
 		ck.ThreadRAS = append(ck.ThreadRAS, t.RAS.StackState())
 	}
-	if c.conf != nil {
-		ck.Conf = append([]uint8(nil), c.conf.table...)
+	if p.conf != nil {
+		ck.Conf = append([]uint8(nil), p.conf.table...)
 	}
-	if c.corr != nil {
-		st, err := c.corr.State()
+	if p.corr != nil {
+		st, err := p.corr.State()
 		if err != nil {
 			return nil, err
 		}
@@ -237,7 +249,7 @@ func Restore(cfg Config, image *asm.Image, ck *Checkpoint, sliceTable *slicehw.T
 
 	c.now = ck.Now
 	c.seq = ck.Seq
-	c.mainHalted = ck.MainHalted
+	c.progs[0].halted = ck.MainHalted
 
 	m := c.main
 	m.PC = ck.PC
@@ -263,14 +275,15 @@ func Restore(cfg Config, image *asm.Image, ck *Checkpoint, sliceTable *slicehw.T
 		return nil, err
 	}
 	if ck.Conf != nil {
-		if c.conf == nil {
+		conf := c.progs[0].conf
+		if conf == nil {
 			return nil, fmt.Errorf("cpu: restore: checkpoint has a confidence table but core has no slice hardware")
 		}
-		if len(ck.Conf) != len(c.conf.table) {
+		if len(ck.Conf) != len(conf.table) {
 			return nil, fmt.Errorf("cpu: restore: confidence table has %d entries, core has %d",
-				len(ck.Conf), len(c.conf.table))
+				len(ck.Conf), len(conf.table))
 		}
-		copy(c.conf.table, ck.Conf)
+		copy(conf.table, ck.Conf)
 	}
 
 	if err := c.hier.L1D.SetState(ck.L1D); err != nil {
@@ -291,10 +304,11 @@ func Restore(cfg Config, image *asm.Image, ck *Checkpoint, sliceTable *slicehw.T
 	c.hier.SetState(ck.Hier)
 
 	if ck.Corr != nil {
-		if c.corr == nil {
+		corr := c.progs[0].corr
+		if corr == nil {
 			return nil, fmt.Errorf("cpu: restore: checkpoint has correlator state but core has no slice hardware")
 		}
-		if err := c.corr.SetState(ck.Corr, sliceTable); err != nil {
+		if err := corr.SetState(ck.Corr, sliceTable); err != nil {
 			return nil, err
 		}
 	}

@@ -1,14 +1,15 @@
 package cpu
 
 // committedRead reconstructs the architecturally committed bytes at
-// [addr, addr+size) by peeling the in-flight (unretired) main-thread
-// stores off the speculative memory image, using their undo records. The
-// records are applied youngest-first so the final value is the one from
-// before the *oldest* in-flight store — i.e., the retired state.
-func (c *Core) committedRead(addr uint64, size int) (uint64, bool) {
-	v, ok := c.mem.Read(addr, size)
-	for i := c.mainStores.len() - 1; i >= 0; i-- {
-		s := c.mainStores.at(i)
+// [addr, addr+size) of one program by peeling its in-flight (unretired)
+// main-thread stores off the speculative memory image, using their undo
+// records. The records are applied youngest-first so the final value is
+// the one from before the *oldest* in-flight store — i.e., the retired
+// state.
+func (p *progState) committedRead(addr uint64, size int) (uint64, bool) {
+	v, ok := p.mem.Read(addr, size)
+	for i := p.mainStores.len() - 1; i >= 0; i-- {
+		s := p.mainStores.at(i)
 		if s.Retired || s.Squashed || !s.undoMemValid {
 			continue
 		}
@@ -39,20 +40,20 @@ func (c *Core) committedRead(addr uint64, size int) (uint64, bool) {
 // checks below keep a broken invariant from silently corrupting
 // committedRead with a recycled instruction — the snapshot-determinism
 // test would surface it.
-func (c *Core) noteMainStore(di *DynInst) {
-	c.mainStores.pushBack(di)
+func (p *progState) noteMainStore(di *DynInst) {
+	p.mainStores.pushBack(di)
 }
 
 // dropRetiredStore pops the oldest noted store at its retirement.
-func (c *Core) dropRetiredStore(di *DynInst) {
-	if c.mainStores.len() > 0 && c.mainStores.front() == di {
-		c.mainStores.popFront()
+func (p *progState) dropRetiredStore(di *DynInst) {
+	if p.mainStores.len() > 0 && p.mainStores.front() == di {
+		p.mainStores.popFront()
 	}
 }
 
 // dropSquashedStore pops the youngest noted store at its squash.
-func (c *Core) dropSquashedStore(di *DynInst) {
-	if c.mainStores.len() > 0 && c.mainStores.back() == di {
-		c.mainStores.popBack()
+func (p *progState) dropSquashedStore(di *DynInst) {
+	if p.mainStores.len() > 0 && p.mainStores.back() == di {
+		p.mainStores.popBack()
 	}
 }

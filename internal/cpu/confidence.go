@@ -42,15 +42,16 @@ func (c *confidence) confident(pc uint64) bool {
 }
 
 // sliceWorthForking reports whether any instruction covered by s is
-// currently low-confidence — i.e., whether pre-executing it can pay.
-func (c *Core) sliceWorthForking(s *sliceRef) bool {
+// currently low-confidence — i.e., whether pre-executing it can pay. Each
+// program gates against its own confidence table.
+func (p *progState) sliceWorthForking(s *sliceRef) bool {
 	for _, pc := range s.coveredBranches {
-		if !c.conf.confident(pc) {
+		if !p.conf.confident(pc) {
 			return true
 		}
 	}
 	for _, pc := range s.coveredLoads {
-		if !c.conf.confident(pc) {
+		if !p.conf.confident(pc) {
 			return true
 		}
 	}

@@ -11,38 +11,35 @@ import (
 	"repro/internal/stats"
 )
 
-// Core is one simulated SMT processor.
+// Core is one simulated SMT processor, running one or more programs
+// (progs) plus their slice helper threads.
 type Core struct {
-	Cfg   Config
-	mem   *mem.Memory
-	image *asm.Image
-	hier  *cache.Hierarchy
+	Cfg  Config
+	hier *cache.Hierarchy
 
 	// The prediction seam: the core talks to the direction and indirect
 	// predictors only through the bpred interfaces, so any registered
 	// predictor plugs in via Config.BPred/IndirectPred. dirPrime and
-	// dirVal cache the optional-hook type asserts off the hot path.
+	// dirVal cache the optional-hook type asserts off the hot path. The
+	// tables are shared across programs; per-program PC salts keep
+	// co-scheduled programs from aliasing each other's entries.
 	dir      bpred.DirPredictor
 	indirect bpred.IndirectPredictor
 	dirPrime bpred.OutcomePrimed // non-nil if dir wants the actual outcome pre-Predict
 	dirVal   bpred.ValueObserver // non-nil if dir learns from tested values at retire
 
 	threads []*Thread
-	main    *Thread
-
-	sliceTable *slicehw.Table
-	corr       *slicehw.Correlator
-	conf       *confidence
-	sliceRefs  map[*slicehw.Slice]*sliceRef
+	// progs holds the per-program state, index-aligned with the main
+	// threads (threads[i] is progs[i].main). See prog.go.
+	progs []*progState
+	// main and S alias progs[0] — the program of a single-programmed core,
+	// and the primary program of a multi-programmed one.
+	main *Thread
 
 	window       int // dispatched, unretired instructions (all threads)
 	helperWindow int // window entries held by helper threads
-	// mainStores is the queue of in-flight main-thread stores with a
-	// recorded memory effect, for committedRead: pushed at fetch, popped
-	// at retire (front) and squash (back).
-	mainStores instRing
-	seq        uint64
-	now        uint64
+	seq          uint64
+	now          uint64
 
 	// Zero-alloc cycle-loop machinery (see pool.go and sched.go).
 	pool       []*DynInst   // DynInst free list
@@ -50,11 +47,8 @@ type Core struct {
 	storeWoken []*DynInst   // wakeups deferred to the end of issueStage
 	doneList   []*DynInst   // completeStage working set
 	cal        [][]calEntry // completion calendar (calendar.go)
-	statSegs   []staticSeg  // per-program Sim.ByPC cache
-	sliceSegs  []sliceSeg   // per-PC slice-table flag cache (sliceflags.go)
 	ectx       execCtx      // scratch isa.State for fetchOne
 
-	mainHalted bool
 	// retiring is the instruction currently inside retireInst, set across
 	// the RetireObserver call: it is popped from its ROB but not yet
 	// released, and the invariant checker exempts it from liveness checks.
@@ -76,30 +70,60 @@ type Core struct {
 	DebugLookup func(di *DynInst)
 	// RetireObserver, when non-nil, receives every main-thread instruction
 	// in retirement (program) order — the architecturally committed
-	// stream. The callee may read the instruction's fields but must not
-	// retain the pointer: the DynInst returns to the pool immediately
-	// after. The differential oracle attaches here.
+	// stream. In multi-programmed mode all programs' retirements arrive
+	// here; route by di.Thread.ProgIndex(). The callee may read the
+	// instruction's fields but must not retain the pointer: the DynInst
+	// returns to the pool immediately after. The differential oracle
+	// attaches here.
 	RetireObserver func(di *DynInst)
 
+	// S aliases progs[0].S: the whole-run counters of the (primary)
+	// program. Per-program counters of a multi-programmed core surface
+	// through Snapshot().Progs.
 	S *stats.Sim
 
 	// registry maps every live counter struct of this core onto Snapshot
 	// fields; ResetStats and Snapshot derive from it, so a counter added
 	// to any registered component is reset and exported automatically.
+	// It covers program 0; extra programs' counters are reset by hand in
+	// ResetStats and exported via Snapshot().Progs.
 	registry stats.Registry
 	// tracer receives the core's own pipeline events (fork, squash,
 	// early-resolution, retire-stall); nil when tracing is off.
 	tracer stats.Tracer
 }
 
-// New builds a core. sliceTable may be nil (no slice hardware). entry is
-// the main thread's starting PC.
+// New builds a single-program core. sliceTable may be nil (no slice
+// hardware). entry is the main thread's starting PC.
 func New(cfg Config, image *asm.Image, memory *mem.Memory, entry uint64, sliceTable *slicehw.Table) (*Core, error) {
-	if cfg.ThreadContexts < 1 {
-		return nil, fmt.Errorf("cpu: need at least one thread context")
+	return NewMulti(cfg, []ProgSpec{{Image: image, Mem: memory, Entry: entry, SliceTable: sliceTable}})
+}
+
+// NewMulti builds a core co-scheduling one program per spec (1 to
+// MaxPrograms). Main threads occupy the first len(specs) thread contexts
+// in spec order; the remaining contexts are helper slots shared by every
+// program's slices. Each program gets its own memory view, slice
+// hardware, and stats; the fetch policy arbitrates among the mains with
+// per-program ICOUNT weights (Config.ProgFetchWeights, defaulting to
+// MainFetchWeight).
+func NewMulti(cfg Config, specs []ProgSpec) (*Core, error) {
+	if len(specs) < 1 {
+		return nil, fmt.Errorf("cpu: need at least one program")
 	}
-	if _, ok := image.At(entry); !ok {
-		return nil, fmt.Errorf("cpu: entry %#x is not in the image", entry)
+	if len(specs) > MaxPrograms {
+		return nil, fmt.Errorf("cpu: %d programs exceed the %d-slot limit", len(specs), MaxPrograms)
+	}
+	if cfg.ThreadContexts < len(specs) {
+		return nil, fmt.Errorf("cpu: %d programs need at least %d thread contexts, config has %d",
+			len(specs), len(specs), cfg.ThreadContexts)
+	}
+	for i, sp := range specs {
+		if sp.Image == nil || sp.Mem == nil {
+			return nil, fmt.Errorf("cpu: program %d: image and memory are required", i)
+		}
+		if _, ok := sp.Image.At(sp.Entry); !ok {
+			return nil, fmt.Errorf("cpu: program %d: entry %#x is not in the image", i, sp.Entry)
+		}
 	}
 	dir, err := bpred.NewDir(cfg.BPred)
 	if err != nil {
@@ -111,43 +135,58 @@ func New(cfg Config, image *asm.Image, memory *mem.Memory, entry uint64, sliceTa
 	}
 	c := &Core{
 		Cfg:      cfg,
-		mem:      memory,
-		image:    image,
 		hier:     cache.NewHierarchy(cfg.Mem),
 		dir:      dir,
 		indirect: indirect,
-		S:        stats.New(),
 	}
 	c.dirPrime, _ = dir.(bpred.OutcomePrimed)
 	c.dirVal, _ = dir.(bpred.ValueObserver)
-	if sliceTable != nil {
-		c.sliceTable = sliceTable
-		c.corr = slicehw.NewCorrelator(cfg.PredQueueDepth)
-		c.conf = newConfidence(4096, cfg.ConfidenceThreshold)
-		c.sliceRefs = make(map[*slicehw.Slice]*sliceRef)
-		for _, s := range sliceTable.Slices() {
-			c.sliceRefs[s] = &sliceRef{
-				coveredBranches: s.CoveredBranchPCs(),
-				coveredLoads:    s.CoveredLoadPCs,
-			}
-		}
-	}
+
 	for i := 0; i < cfg.ThreadContexts; i++ {
 		fqCap, robCap := cfg.HelperFetchQCap, cfg.HelperWindowCap
-		if i == 0 {
+		if i < len(specs) {
 			fqCap, robCap = cfg.FetchQueueCap, cfg.WindowSize
 		}
 		c.threads = append(c.threads, newThread(i, 64, fqCap, robCap))
 	}
-	c.mainStores = newInstRing(64)
+
+	for i, sp := range specs {
+		p := &progState{
+			index:    i,
+			image:    sp.Image,
+			mem:      sp.Mem,
+			weight:   cfg.progWeight(i),
+			physBase: uint64(i) * (progPhysStride + progPhysSkew),
+			predSalt: uint64(i) * progSaltStride,
+			S:        stats.New(),
+		}
+		if sp.SliceTable != nil {
+			p.sliceTable = sp.SliceTable
+			p.corr = slicehw.NewCorrelator(cfg.PredQueueDepth)
+			p.conf = newConfidence(4096, cfg.ConfidenceThreshold)
+			p.sliceRefs = make(map[*slicehw.Slice]*sliceRef)
+			for _, s := range sp.SliceTable.Slices() {
+				p.sliceRefs[s] = &sliceRef{
+					coveredBranches: s.CoveredBranchPCs(),
+					coveredLoads:    s.CoveredLoadPCs,
+				}
+			}
+		}
+		p.mainStores = newInstRing(64)
+		p.initStatCache()
+		p.initSliceFlags()
+		t := c.threads[i]
+		t.IsMain = true
+		t.Alive = true
+		t.Fetching = true
+		t.PC = sp.Entry
+		t.prog = p
+		p.main = t
+		c.progs = append(c.progs, p)
+	}
+	c.main = c.progs[0].main
+	c.S = c.progs[0].S
 	c.cal = make([][]calEntry, calBuckets)
-	c.initStatCache()
-	c.initSliceFlags()
-	c.main = c.threads[0]
-	c.main.IsMain = true
-	c.main.Alive = true
-	c.main.Fetching = true
-	c.main.PC = entry
 
 	c.registry.Register("Sim", c.S)
 	c.registry.Register("Hier", &c.hier.Stats)
@@ -164,8 +203,8 @@ func New(cfg Config, image *asm.Image, memory *mem.Memory, entry uint64, sliceTa
 		c.registry.Register(field, ptr)
 	}
 	c.registry.Register("Bpred.RAS", &c.main.RAS.Stats)
-	if c.corr != nil {
-		c.registry.Register("Corr", &c.corr.Stats)
+	if c.progs[0].corr != nil {
+		c.registry.Register("Corr", &c.progs[0].corr.Stats)
 	}
 	return c, nil
 }
@@ -182,22 +221,31 @@ func MustNew(cfg Config, image *asm.Image, memory *mem.Memory, entry uint64, st 
 // Hier exposes the memory hierarchy (stats and tests).
 func (c *Core) Hier() *cache.Hierarchy { return c.hier }
 
-// Correlator exposes the prediction correlator (stats and tests).
-func (c *Core) Correlator() *slicehw.Correlator { return c.corr }
+// Correlator exposes program 0's prediction correlator (stats and tests).
+func (c *Core) Correlator() *slicehw.Correlator { return c.progs[0].corr }
 
-// SliceTable exposes the slice table the core was built with (nil without
-// slice hardware); Restore needs the same table.
-func (c *Core) SliceTable() *slicehw.Table { return c.sliceTable }
+// SliceTable exposes the slice table program 0 was built with (nil
+// without slice hardware); Restore needs the same table.
+func (c *Core) SliceTable() *slicehw.Table { return c.progs[0].sliceTable }
 
-// Main exposes the main thread (tests).
+// Main exposes program 0's main thread (tests).
 func (c *Core) Main() *Thread { return c.main }
 
-// Memory exposes the speculative memory image (the oracle's final-state
-// check; architectural only when nothing is in flight).
-func (c *Core) Memory() *mem.Memory { return c.mem }
+// Memory exposes program 0's speculative memory image (the oracle's
+// final-state check; architectural only when nothing is in flight).
+func (c *Core) Memory() *mem.Memory { return c.progs[0].mem }
 
-// Image exposes the code image the core executes.
-func (c *Core) Image() *asm.Image { return c.image }
+// Image exposes the code image program 0 executes.
+func (c *Core) Image() *asm.Image { return c.progs[0].image }
+
+// NumPrograms returns how many programs the core co-schedules.
+func (c *Core) NumPrograms() int { return len(c.progs) }
+
+// ProgMain exposes program i's main thread.
+func (c *Core) ProgMain(i int) *Thread { return c.progs[i].main }
+
+// ProgSim exposes program i's whole-run counters.
+func (c *Core) ProgSim(i int) *stats.Sim { return c.progs[i].S }
 
 // Now returns the current cycle.
 func (c *Core) Now() uint64 { return c.now }
@@ -206,19 +254,39 @@ func (c *Core) Now() uint64 { return c.now }
 // machine state warm — run a warm-up region, reset, then measure, like the
 // paper's 100M-instruction warm-up. It walks the telemetry registry, so
 // every registered component resets — there is no per-component list here
-// to forget when a counter struct grows.
+// to forget when a counter struct grows. Programs beyond slot 0 are not
+// in the registry (the Snapshot has one field per section); their
+// counters are zeroed by hand here.
 func (c *Core) ResetStats() {
 	c.registry.Reset()
-	// The reset replaced the Sim.Static map; drop the cached pointers
-	// into the old one.
-	c.invalidateStatCache()
+	for _, p := range c.progs {
+		// The reset replaced the Sim.Static map; drop the cached pointers
+		// into the old one.
+		p.invalidateStatCache()
+	}
+	for _, p := range c.progs[1:] {
+		stats.Zero(p.S)
+		stats.Zero(&p.main.RAS.Stats)
+		if p.corr != nil {
+			stats.Zero(&p.corr.Stats)
+		}
+	}
 }
 
 // Snapshot deep-copies every registered counter struct into one
 // machine-readable Snapshot — the unit of export for -json output and the
-// harness rows.
+// harness rows. A multi-programmed core additionally fills Progs with
+// each program's whole-run counters (slot-aligned); single-program
+// snapshots leave it nil, so their serialized form is unchanged.
 func (c *Core) Snapshot() stats.Snapshot {
-	return c.registry.Snapshot()
+	snap := c.registry.Snapshot()
+	if len(c.progs) > 1 {
+		snap.Progs = make([]stats.Sim, len(c.progs))
+		for i, p := range c.progs {
+			snap.Progs[i] = *p.S.Clone()
+		}
+	}
+	return snap
 }
 
 // Components exposes the telemetry registry contents (tests assert reset
@@ -228,16 +296,20 @@ func (c *Core) Components() []stats.Component {
 }
 
 // SetTracer routes structured telemetry events from the core, the memory
-// hierarchy, and the correlator to t. The correlator has no clock, so its
-// events are wrapped to stamp the current cycle. Pass nil to disable.
+// hierarchy, and each program's correlator to t. The correlator has no
+// clock, so its events are wrapped to stamp the current cycle. Pass nil
+// to disable.
 func (c *Core) SetTracer(t stats.Tracer) {
 	c.tracer = t
 	c.hier.Tracer = t
-	if c.corr != nil {
+	for _, p := range c.progs {
+		if p.corr == nil {
+			continue
+		}
 		if t == nil {
-			c.corr.Tracer = nil
+			p.corr.Tracer = nil
 		} else {
-			c.corr.Tracer = stats.FuncTracer(func(e stats.Event) {
+			p.corr.Tracer = stats.FuncTracer(func(e stats.Event) {
 				e.Cycle = c.now
 				t.Emit(e)
 			})
@@ -258,28 +330,37 @@ func (c *Core) emit(e stats.Event) {
 	}
 }
 
-// Done reports whether the main thread has halted and drained, including
-// the write buffer: retired stores still draining into the hierarchy would
-// otherwise leave final cache stats dependent on where the run stopped.
+// Done reports whether every program's main thread has halted and
+// drained, including the write buffer: retired stores still draining into
+// the hierarchy would otherwise leave final cache stats dependent on
+// where the run stopped.
 func (c *Core) Done() bool {
-	return c.mainHalted && c.main.rob.len() == 0 && c.main.fetchq.len() == 0 &&
-		c.hier.WriteBufLen() == 0
+	for _, p := range c.progs {
+		if !p.drainedMain() {
+			return false
+		}
+	}
+	return c.hier.WriteBufLen() == 0
 }
 
-// Run simulates until the main thread has retired maxMainRetired more
-// instructions (counted from the last ResetStats), halted, or the cycle
-// guard fired. It returns the stats accumulated since the last reset.
+// Run simulates until every program has retired maxMainRetired more
+// instructions (counted from the last ResetStats) or halted, or the cycle
+// guard fired. A program that reaches its target keeps running — and
+// contending — until the slowest one catches up. It returns program 0's
+// stats; per-program counters come from Snapshot or ProgSim.
 func (c *Core) Run(maxMainRetired uint64) *stats.Sim {
 	start := c.now
 	for {
-		if c.S.MainRetired >= maxMainRetired || c.Done() {
+		if c.runTargetMet(maxMainRetired) {
 			break
 		}
 		if c.now-start >= c.Cfg.MaxCycles {
 			// A truncated region is not a completed one; count the hit so
 			// harness rows and slicesim can surface it instead of silently
 			// reporting a partial simulation.
-			c.S.CycleGuardHits++
+			for _, p := range c.progs {
+				p.S.CycleGuardHits++
+			}
 			break
 		}
 		c.stepCycle()
@@ -287,10 +368,26 @@ func (c *Core) Run(maxMainRetired uint64) *stats.Sim {
 	return c.S
 }
 
+// runTargetMet reports whether Run's stopping condition holds: the
+// machine fully drained, or every program retired its share.
+func (c *Core) runTargetMet(max uint64) bool {
+	if c.Done() {
+		return true
+	}
+	for _, p := range c.progs {
+		if p.S.MainRetired < max {
+			return false
+		}
+	}
+	return true
+}
+
 // stepCycle advances the machine one cycle through every pipeline stage.
 func (c *Core) stepCycle() {
 	c.now++
-	c.S.Cycles++
+	for _, p := range c.progs {
+		p.S.Cycles++
+	}
 	c.retireStage()
 	c.completeStage()
 	c.issueStage()
@@ -315,7 +412,7 @@ func (c *Core) dispatchStage() {
 				}
 			}
 			if !t.IsMain && c.helperWindow >= c.Cfg.HelperWindowCap {
-				break // helpers may not starve the main thread of window space
+				break // helpers may not starve the main threads of window space
 			}
 			di := t.fetchq.front()
 			if di.FetchCycle+c.Cfg.FrontLatency > c.now {

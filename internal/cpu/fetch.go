@@ -8,13 +8,16 @@ import (
 )
 
 // fetchStage selects one thread per cycle with an ICOUNT-like policy
-// biased toward the main thread (§4.1) and fetches up to FetchWidth
+// biased toward the main threads (§4.1) and fetches up to FetchWidth
 // instructions along the predicted path, past taken branches (Table 1).
 // Each instruction is functionally executed as it is fetched.
 func (c *Core) fetchStage() {
 	if c.draining {
 		return // Quiesce: drain in-flight work without fetching anything new
 	}
+	// Helper teardown happens before selection, in thread-index order, so
+	// it never depends on which selection scan visits a thread first.
+	c.retireDoneHelpers()
 	t := c.chooseFetchThread()
 	if t == nil {
 		if c.Cfg.DedicatedSliceResources {
@@ -28,6 +31,27 @@ func (c *Core) fetchStage() {
 	// thread's slot.
 	if c.Cfg.DedicatedSliceResources {
 		c.fetchDedicatedHelper(t)
+	}
+}
+
+// retireDoneHelpers retires, in thread-index order, every fetching helper
+// parked at a PGI whose slice instance is already done (its kill fired;
+// further predictions would misalign the queue). Hoisted out of the
+// selection predicates: when teardown was a side effect of
+// helperPGIStalled, fetchDedicatedHelper's scan could retire a helper it
+// never selected, making teardown order depend on scan order.
+func (c *Core) retireDoneHelpers() {
+	for _, t := range c.threads {
+		if t.IsMain || !t.Alive || !t.Fetching {
+			continue
+		}
+		p := t.prog
+		if p == nil || p.sliceTable == nil || c.Cfg.SlicePredictionsOff || p.sliceFlags(t.PC)&sfPGI == 0 {
+			continue
+		}
+		if _, isPGI := p.sliceTable.PGIAt(t.PC); isPGI && t.Instance.Done() {
+			t.Fetching = false
+		}
 	}
 }
 
@@ -53,6 +77,7 @@ func (c *Core) fetchDedicatedHelper(already *Thread) {
 }
 
 func (c *Core) fetchFrom(t *Thread) {
+	p := t.prog
 	for n := 0; n < c.Cfg.FetchWidth; n++ {
 		if !t.Fetching || t.fetchq.len() >= c.fetchQCap(t) {
 			return
@@ -61,11 +86,21 @@ func (c *Core) fetchFrom(t *Thread) {
 			return
 		}
 		pc := t.PC
-		if lat := c.hier.FetchAccess(pc, c.now); lat > 0 {
+		// A nonzero icStallUntil here means the miss stall this thread
+		// slept on has expired: the fill it paid for has arrived. Re-probe
+		// normally (hits keep the LRU honest), but if the line was evicted
+		// during the stall — co-scheduled programs or helpers thrashing the
+		// set — the arrived fill still delivers this one fetch, MSHR-style.
+		// Without that guarantee, three or more programs whose hot lines
+		// alias in the 2-way I-cache can starve each other forever, every
+		// retry re-missing and re-stalling.
+		fillArrived := t.icStallUntil != 0
+		t.icStallUntil = 0
+		if lat := c.hier.FetchAccess(p.physAddr(pc), c.now); lat > 0 && !fillArrived {
 			t.icStallUntil = c.now + lat
 			return
 		}
-		in, ok := c.image.At(pc)
+		in, ok := p.image.At(pc)
 		if !ok {
 			// Fetch ran off the code image (a wrong path, or a slice
 			// falling off its end). Stop; a squash will restore Fetching.
@@ -76,13 +111,13 @@ func (c *Core) fetchFrom(t *Thread) {
 		// slice kill fired) terminates — later predictions would misalign
 		// the queue. A live helper stalls while the queue is full rather
 		// than dropping the prediction, for the same reason.
-		if !t.IsMain && c.sliceTable != nil && !c.Cfg.SlicePredictionsOff && c.sliceFlags(pc)&sfPGI != 0 {
-			if ref, isPGI := c.sliceTable.PGIAt(pc); isPGI {
+		if !t.IsMain && p.sliceTable != nil && !c.Cfg.SlicePredictionsOff && p.sliceFlags(pc)&sfPGI != 0 {
+			if ref, isPGI := p.sliceTable.PGIAt(pc); isPGI {
 				if t.Instance.Done() {
 					t.Fetching = false
 					return
 				}
-				if !c.corr.CanAllocate(ref.PGI.BranchPC) {
+				if !p.corr.CanAllocate(ref.PGI.BranchPC) {
 					return
 				}
 			}
@@ -92,21 +127,24 @@ func (c *Core) fetchFrom(t *Thread) {
 }
 
 // helperPGIStalled reports whether a helper's next fetch is a PGI that
-// cannot allocate right now. It also retires helpers whose instance is
-// done (their slice kill fired; further predictions would misalign).
+// cannot proceed right now: its slice instance is done (teardown is
+// retireDoneHelpers' job — this predicate is pure), or its prediction
+// queue cannot allocate.
 func (c *Core) helperPGIStalled(t *Thread) bool {
-	if c.sliceTable == nil || c.Cfg.SlicePredictionsOff || c.sliceFlags(t.PC)&sfPGI == 0 {
+	p := t.prog
+	if p.sliceTable == nil || c.Cfg.SlicePredictionsOff || p.sliceFlags(t.PC)&sfPGI == 0 {
 		return false
 	}
-	ref, isPGI := c.sliceTable.PGIAt(t.PC)
+	ref, isPGI := p.sliceTable.PGIAt(t.PC)
 	if !isPGI {
 		return false
 	}
 	if t.Instance.Done() {
-		t.Fetching = false
+		// A kill that landed after this cycle's teardown pass; the helper
+		// just doesn't fetch this cycle and is retired next cycle.
 		return true
 	}
-	return !c.corr.CanAllocate(ref.PGI.BranchPC)
+	return !p.corr.CanAllocate(ref.PGI.BranchPC)
 }
 
 // fetchQCap returns the fetch-queue capacity for a thread.
@@ -117,10 +155,14 @@ func (c *Core) fetchQCap(t *Thread) int {
 	return c.Cfg.HelperFetchQCap
 }
 
-// chooseFetchThread implements the biased ICOUNT policy. A thread that
-// cannot actually fetch this cycle (e.g. a helper stalled at a PGI whose
+// chooseFetchThread implements the biased ICOUNT policy, arbitrating
+// among every program's main thread and the helpers. A thread that cannot
+// actually fetch this cycle (e.g. a helper stalled at a PGI whose
 // prediction queue is full) must not win the slot — it would starve the
-// main thread, whose kills are what drain that queue.
+// main threads, whose kills are what drain that queue. Each main thread
+// carries its program's fairness weight; on a score tie a main thread
+// beats a helper, and among equal-scored mains the lowest thread index
+// (scan order) wins, keeping multi-program arbitration deterministic.
 func (c *Core) chooseFetchThread() *Thread {
 	var best *Thread
 	bestScore := 0.0
@@ -133,10 +175,10 @@ func (c *Core) chooseFetchThread() *Thread {
 		}
 		w := 1.0
 		if t.IsMain {
-			w = c.Cfg.MainFetchWeight
+			w = t.prog.weight
 		}
 		score := float64(t.inflight()) / w
-		if best == nil || score < bestScore || (score == bestScore && t.IsMain) {
+		if best == nil || score < bestScore || (score == bestScore && t.IsMain && !best.IsMain) {
 			best, bestScore = t, score
 		}
 	}
@@ -145,20 +187,21 @@ func (c *Core) chooseFetchThread() *Thread {
 
 // fetchOne fetches, functionally executes, and predicts one instruction.
 func (c *Core) fetchOne(t *Thread, in *isa.Inst, pc uint64) {
+	p := t.prog
 	di := c.allocInst()
 	di.Thread, di.Static, di.PC, di.Seq, di.FetchCycle = t, in, pc, c.seq, c.now
 	c.seq++
 
 	if t.IsMain {
-		c.S.MainFetched++
+		p.S.MainFetched++
 		c.sliceHooksAtFetch(di)
 	} else {
-		c.S.HelperFetched++
-		if c.sliceTable != nil && c.sliceFlags(pc)&sfPGI != 0 {
-			if ref, ok := c.sliceTable.PGIAt(pc); ok && !c.Cfg.SlicePredictionsOff {
+		p.S.HelperFetched++
+		if p.sliceTable != nil && p.sliceFlags(pc)&sfPGI != 0 {
+			if ref, ok := p.sliceTable.PGIAt(pc); ok && !c.Cfg.SlicePredictionsOff {
 				di.IsPGI = true
 				di.PGIRef = ref
-				di.AllocPred = c.corr.Allocate(t.Instance, ref.PGI.BranchPC)
+				di.AllocPred = p.corr.Allocate(t.Instance, ref.PGI.BranchPC)
 			}
 		}
 		// Helper-thread loop accounting against the slice's iteration
@@ -166,7 +209,7 @@ func (c *Core) fetchOne(t *Thread, in *isa.Inst, pc uint64) {
 		if t.Slice != nil && pc == t.Slice.LoopBackPC {
 			t.LoopCount++
 			if t.LoopCount >= t.Slice.MaxLoops && t.Slice.MaxLoops > 0 {
-				c.S.HelperMaxIter++
+				p.S.HelperMaxIter++
 				t.Fetching = false // this back edge is the last
 			}
 		}
@@ -175,7 +218,7 @@ func (c *Core) fetchOne(t *Thread, in *isa.Inst, pc uint64) {
 	// Functional execution against the speculative state. Helper threads
 	// never store (§4.1): slices affect only microarchitectural state.
 	if !t.IsMain && in.IsStore() {
-		c.S.HelperStores++
+		p.S.HelperStores++
 		di.Out = isa.Outcome{}
 	} else {
 		c.ectx = execCtx{c, t, di}
@@ -202,7 +245,7 @@ func (c *Core) fetchOne(t *Thread, in *isa.Inst, pc uint64) {
 		if in.IsStore() {
 			t.pendingStores = append(t.pendingStores, di)
 			if di.undoMemValid {
-				c.noteMainStore(di)
+				p.noteMainStore(di)
 			}
 		} else if in.IsLoad() {
 			// Real disambiguation: subscribe to every older in-flight
@@ -222,7 +265,7 @@ func (c *Core) fetchOne(t *Thread, in *isa.Inst, pc uint64) {
 	} else if di.Out.Fault && !t.IsMain {
 		// Exceptions terminate slices (§3.2) — how pointer-chasing
 		// slices stop at a null dereference.
-		c.S.HelperFaults++
+		p.S.HelperFaults++
 		t.Fetching = false
 	} else if di.Out.Fork {
 		c.forkByIndex(di, di.Out.SliceIndex)
@@ -240,29 +283,30 @@ func (c *Core) fetchOne(t *Thread, in *isa.Inst, pc uint64) {
 // sliceHooksAtFetch services the slice table CAMs for a main-thread fetch:
 // forks and prediction kills (§4.2, §5.1).
 func (c *Core) sliceHooksAtFetch(di *DynInst) {
-	if c.sliceTable == nil {
+	p := di.Thread.prog
+	if p.sliceTable == nil {
 		return
 	}
 	pc := di.PC
-	f := c.sliceFlags(pc)
+	f := p.sliceFlags(pc)
 	if f == 0 {
 		return
 	}
 	if f&sfFork != 0 {
-		for _, s := range c.sliceTable.ForksAt(pc) {
+		for _, s := range p.sliceTable.ForksAt(pc) {
 			c.fork(di, s)
 		}
 	}
 	if f&sfLoopKill != 0 {
-		for _, s := range c.sliceTable.LoopKillsAt(pc) {
-			if rec := c.corr.KillLoop(s); rec != nil {
+		for _, s := range p.sliceTable.LoopKillsAt(pc) {
+			if rec := p.corr.KillLoop(s); rec != nil {
 				di.KillRecs = append(di.KillRecs, rec)
 			}
 		}
 	}
 	if f&sfSliceKill != 0 {
-		for _, s := range c.sliceTable.SliceKillsAt(pc) {
-			if rec := c.corr.KillSlice(s); rec != nil {
+		for _, s := range p.sliceTable.SliceKillsAt(pc) {
+			if rec := p.corr.KillSlice(s); rec != nil {
 				di.KillRecs = append(di.KillRecs, rec)
 			}
 		}
@@ -270,46 +314,58 @@ func (c *Core) sliceHooksAtFetch(di *DynInst) {
 }
 
 // fork activates a helper context for slice s, copying the live-in
-// registers from the main thread's speculative state (the register
-// communication of §4.3). If no context is idle the fork is ignored.
+// registers from the forking main thread's speculative state (the
+// register communication of §4.3). The helper joins the forker's program:
+// it reads that program's memory view and feeds that program's
+// correlator. If no context is idle the fork is ignored.
 func (c *Core) fork(di *DynInst, s *slicehw.Slice) {
+	p := di.Thread.prog
 	// §6.3: gate the fork with confidence — don't pay slice overhead for
 	// problem instructions that are currently behaving well.
-	if c.Cfg.ConfidenceGatedForks && !c.sliceWorthForking(c.sliceRefs[s]) {
-		c.S.ForksGated++
+	if c.Cfg.ConfidenceGatedForks && !p.sliceWorthForking(p.sliceRefs[s]) {
+		p.S.ForksGated++
 		c.emit(stats.Event{Kind: stats.EvForkGated, PC: di.PC, Slice: s.Index})
 		return
 	}
 	h := c.idleThread()
 	if h == nil {
-		c.S.ForksIgnored++
+		p.S.ForksIgnored++
 		c.emit(stats.Event{Kind: stats.EvForkIgnored, PC: di.PC, Slice: s.Index})
 		return
 	}
-	c.S.Forks++
+	p.S.Forks++
 	c.emit(stats.Event{Kind: stats.EvFork, PC: di.PC, Slice: s.Index, Addr: s.SlicePC})
 	h.reset()
 	h.Alive = true
 	h.Fetching = true
 	h.PC = s.SlicePC
 	h.Slice = s
-	h.Instance = c.corr.NewInstance(s)
+	h.prog = p
+	h.Instance = p.corr.NewInstance(s)
 	h.ForkInst = di
-	liveIns := make([]uint64, len(s.LiveIns))
-	for i, r := range s.LiveIns {
+	for _, r := range s.LiveIns {
 		h.Regs[r] = di.Thread.Regs[r]
-		liveIns[i] = h.Regs[r]
 	}
-	h.Instance.Debug = liveIns
+	if c.tracer != nil {
+		// The live-in capture exists only for trace consumers; skipping it
+		// without a tracer keeps the cycle loop allocation-free on
+		// fork-dense workloads.
+		liveIns := make([]uint64, len(s.LiveIns))
+		for i, r := range s.LiveIns {
+			liveIns[i] = h.Regs[r]
+		}
+		h.Instance.Debug = liveIns
+	}
 	di.Forked = append(di.Forked, h)
 }
 
 // forkByIndex services an explicit FORK instruction.
 func (c *Core) forkByIndex(di *DynInst, idx int) {
-	if c.sliceTable == nil {
+	p := di.Thread.prog
+	if p.sliceTable == nil {
 		return
 	}
-	slices := c.sliceTable.Slices()
+	slices := p.sliceTable.Slices()
 	if idx < 0 || idx >= len(slices) {
 		return
 	}
@@ -317,8 +373,11 @@ func (c *Core) forkByIndex(di *DynInst, idx int) {
 }
 
 // predictCtrl predicts a fetched control instruction and returns the next
-// fetch PC. It maintains speculative history, path, and RAS state.
+// fetch PC. It maintains speculative history, path, and RAS state. Shared
+// predictor tables are indexed through the program's PC salt so
+// co-scheduled programs at identical virtual PCs do not alias.
 func (c *Core) predictCtrl(t *Thread, di *DynInst) uint64 {
+	p := t.prog
 	in := di.Static
 	pc := di.PC
 
@@ -342,11 +401,11 @@ func (c *Core) predictCtrl(t *Thread, di *DynInst) uint64 {
 				// written here first.
 				di.CondVal = t.Regs[in.Ra]
 			}
-			fallback := c.dir.Predict(pc, t.Hist)
+			fallback := c.dir.Predict(p.saltPC(pc), t.Hist)
 			pred = fallback
-			if c.corr != nil {
-				p, dir, override := c.corr.Lookup(pc, fallback, di)
-				di.UsedPred = p
+			if p.corr != nil {
+				pr, dir, override := p.corr.Lookup(pc, fallback, di)
+				di.UsedPred = pr
 				di.UsedOverride = override
 				pred = dir
 				if c.DebugLookup != nil {
@@ -385,21 +444,24 @@ func (c *Core) predictCtrl(t *Thread, di *DynInst) uint64 {
 		if t.IsMain && c.Cfg.Perfect.CoversBranch(pc) {
 			pred = di.Out.Target
 		} else if t.IsMain {
-			pred = c.indirect.Predict(pc, t.Path)
+			pred = c.indirect.Predict(p.saltPC(pc), t.Path)
 		} else {
 			pred = di.Out.Target // helpers: slices avoid indirects
 		}
 		di.PredTaken = true
 		di.PredTarget = pred
 		if pred == 0 {
-			// No prediction available: fetch stalls until resolution.
+			// No prediction available: fetch stalls until resolution. The
+			// path-history push is deferred to resolveCtrl — pushing the 0
+			// sentinel here would pollute the path every later indirect
+			// prediction keys on with a value no resolved target matches.
 			di.NoTargetPred = true
 			t.waitResolve = di
 			t.Fetching = false
 		} else {
 			di.Mispredicted = pred != di.Out.Target
+			t.Path = bpred.PushPath(t.Path, pred)
 		}
-		t.Path = bpred.PushPath(t.Path, pred)
 		if in.Op == isa.CALLR {
 			t.RAS.Push(pc + isa.InstBytes)
 		}

@@ -1,0 +1,157 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/bpred"
+	"repro/internal/isa"
+	"repro/internal/mem"
+	"repro/internal/slicehw"
+	"repro/internal/stats"
+)
+
+// TestUnpredictedIndirectDefersPathPush is the regression test for the
+// path-history bug: predictCtrl used to push the 0 "no prediction"
+// sentinel into t.Path when the indirect predictor had no target for a
+// JMP/CALLR, polluting the path every later indirect prediction and
+// update keys on. The push is now deferred to resolveCtrl, which pushes
+// the resolved target, so after two cold indirect jumps the thread's
+// path must equal exactly PushPath(PushPath(0, tgt1), tgt2).
+func TestUnpredictedIndirectDefersPathPush(t *testing.T) {
+	const base = 0x1000
+	// Fixed layout: every emitted instruction below is exactly one slot,
+	// so the landing addresses are known before Build.
+	tgt1 := uint64(base + 2*isa.InstBytes)
+	tgt2 := uint64(base + 4*isa.InstBytes)
+	b := asm.NewBuilder(base)
+	b.I(isa.LDI, 1, 0, int32(tgt1))
+	b.Jmp(1)
+	b.Label("land1")
+	b.I(isa.LDI, 2, 0, int32(tgt2))
+	b.Jmp(2)
+	b.Label("land2")
+	b.Halt()
+	p := b.MustBuild()
+	if p.PC("land1") != tgt1 || p.PC("land2") != tgt2 {
+		t.Fatalf("layout drifted: land1=%#x want %#x, land2=%#x want %#x",
+			p.PC("land1"), tgt1, p.PC("land2"), tgt2)
+	}
+	im, err := asm.NewImage(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	core := MustNew(Config4Wide(), im, mem.New(), base, nil)
+	core.Run(1 << 40)
+	if !core.Done() {
+		t.Fatal("core did not halt")
+	}
+	// Both jumps are cold (the cascaded predictor returns 0), so both
+	// take the stall-until-resolution leg; each resolution must push the
+	// actual target, never the 0 sentinel.
+	if core.S.IndirectJumps != 2 || core.S.IndirectMisses != 2 {
+		t.Fatalf("indirects %d (%d unpredicted), want 2/2",
+			core.S.IndirectJumps, core.S.IndirectMisses)
+	}
+	want := bpred.PushPath(bpred.PushPath(0, tgt1), tgt2)
+	if core.main.Path != want {
+		t.Errorf("path after two unpredicted indirects = %#x, want %#x (0-sentinel pushed?)",
+			core.main.Path, want)
+	}
+}
+
+// TestHelperPGIStalledIsPure is the regression test for the
+// selection-predicate side effect: helperPGIStalled used to clear
+// t.Fetching when it found a done slice instance, so which selection scan
+// (chooseFetchThread vs fetchDedicatedHelper) visited the helper first
+// decided when teardown happened. The predicate must report the stall
+// without touching the thread; the hoisted retireDoneHelpers pass owns
+// teardown.
+func TestHelperPGIStalledIsPure(t *testing.T) {
+	w := buildMini(t, 50)
+	m := mem.New()
+	w.initMem(m)
+	core := MustNew(Config4Wide(), w.image, m, w.entry, slicehw.MustTable(w.slices))
+	p := core.progs[0]
+	s := p.sliceTable.Slices()[0]
+
+	// Park a helper at the slice's PGI with an already-dead instance —
+	// the state the teardown pass exists for.
+	h := core.idleThread()
+	if h == nil {
+		t.Fatal("no idle helper context")
+	}
+	h.reset()
+	h.Alive, h.Fetching = true, true
+	h.prog = p
+	h.PC = s.PGIs[0].SlicePC
+	h.Instance = p.corr.NewInstance(s)
+	p.corr.RemoveInstance(h.Instance)
+	if !h.Instance.Done() {
+		t.Fatal("instance not done after removal")
+	}
+
+	if !core.helperPGIStalled(h) {
+		t.Error("done instance at a PGI must report stalled")
+	}
+	if !h.Fetching {
+		t.Error("helperPGIStalled cleared t.Fetching — selection predicate has a side effect again")
+	}
+	// Calling it repeatedly (as both selection scans do in one cycle)
+	// must be idempotent on thread state.
+	core.helperPGIStalled(h)
+	if !h.Fetching {
+		t.Error("second predicate call mutated the thread")
+	}
+
+	core.retireDoneHelpers()
+	if h.Fetching {
+		t.Error("retireDoneHelpers did not retire the done helper")
+	}
+}
+
+// eventSink is a minimal tracer for tests that only need c.tracer != nil.
+type eventSink struct{ n int }
+
+func (s *eventSink) Emit(stats.Event) { s.n++ }
+
+// TestForkLiveInCaptureGatedByTracer is the regression test for the
+// cycle-loop allocation: fork used to heap-allocate the live-in debug
+// slice on every fork even with no tracer attached. The capture exists
+// only for trace consumers, so without a tracer Instance.Debug must stay
+// nil (no allocation); with one it must hold the forked register values.
+func TestForkLiveInCaptureGatedByTracer(t *testing.T) {
+	w := buildMini(t, 50)
+	m := mem.New()
+	w.initMem(m)
+	core := MustNew(Config4Wide(), w.image, m, w.entry, slicehw.MustTable(w.slices))
+	p := core.progs[0]
+	s := p.sliceTable.Slices()[0]
+	core.main.Regs[2], core.main.Regs[27], core.main.Regs[25] = 7, 0x200000, 1<<19
+
+	di := core.allocInst()
+	di.Thread = core.main
+	core.fork(di, s)
+	if len(di.Forked) != 1 {
+		t.Fatalf("fork activated %d helpers, want 1", len(di.Forked))
+	}
+	if di.Forked[0].Instance.Debug != nil {
+		t.Error("live-in capture allocated with no tracer attached")
+	}
+
+	core.SetTracer(&eventSink{})
+	di2 := core.allocInst()
+	di2.Thread = core.main
+	core.fork(di2, s)
+	h := di2.Forked[0]
+	liveIns, ok := h.Instance.Debug.([]uint64)
+	if !ok {
+		t.Fatalf("live-in capture missing with a tracer attached (Debug = %T)", h.Instance.Debug)
+	}
+	for i, r := range s.LiveIns {
+		if liveIns[i] != core.main.Regs[r] {
+			t.Errorf("live-in %d (r%d) = %#x, want %#x", i, r, liveIns[i], core.main.Regs[r])
+		}
+	}
+}

@@ -176,7 +176,7 @@ func functionalWarm(cfg Config, image *asm.Image, memory *mem.Memory, entry uint
 		ma.CopyRegs(&t.Regs)
 	}
 	c.now = now
-	c.mainHalted = halted
+	c.progs[0].halted = halted
 	c.S.MainRetired = retired
 	t.PC = eng.PC()
 	t.Fetching = !halted

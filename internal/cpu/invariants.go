@@ -23,19 +23,21 @@ import (
 // mid-release and is exempted from liveness checks).
 func (c *Core) CheckInvariants() error {
 	// Window accounting vs. actual ring occupancy.
-	helperROB := 0
+	helperROB, mainROB := 0, 0
 	for _, t := range c.threads {
-		if !t.IsMain {
+		if t.IsMain {
+			mainROB += t.rob.len()
+		} else {
 			helperROB += t.rob.len()
 		}
 	}
-	wantWindow := c.main.rob.len()
+	wantWindow := mainROB
 	if !c.Cfg.DedicatedSliceResources {
 		wantWindow += helperROB
 	}
 	if c.window != wantWindow {
 		return fmt.Errorf("cpu: window=%d but ROB occupancy says %d (main %d, helper %d, dedicated=%t)",
-			c.window, wantWindow, c.main.rob.len(), helperROB, c.Cfg.DedicatedSliceResources)
+			c.window, wantWindow, mainROB, helperROB, c.Cfg.DedicatedSliceResources)
 	}
 	if c.helperWindow != helperROB {
 		return fmt.Errorf("cpu: helperWindow=%d but helper ROBs hold %d", c.helperWindow, helperROB)
@@ -84,41 +86,49 @@ func (c *Core) CheckInvariants() error {
 		prev = d
 	}
 
-	// Committed-store queue: in-flight main-thread stores with a recorded
-	// memory effect, in fetch order.
-	var prevStore *DynInst
-	for i := 0; i < c.mainStores.len(); i++ {
-		d := c.mainStores.at(i)
-		switch {
-		case d == nil:
-			return fmt.Errorf("cpu: mainStores[%d] is nil", i)
-		case pooled[d]:
-			return fmt.Errorf("cpu: mainStores[%d] (seq=%d) is a pooled instruction", i, d.Seq)
-		case !d.Thread.IsMain:
-			return fmt.Errorf("cpu: mainStores[%d] (seq=%d) belongs to a helper thread", i, d.Seq)
-		case !d.Static.IsStore():
-			return fmt.Errorf("cpu: mainStores[%d] (seq=%d, pc=%#x) is not a store", i, d.Seq, d.PC)
-		case !d.undoMemValid:
-			return fmt.Errorf("cpu: mainStores[%d] (seq=%d) has no recorded memory effect", i, d.Seq)
-		case d.Squashed:
-			return fmt.Errorf("cpu: mainStores[%d] (seq=%d) is squashed but still queued", i, d.Seq)
-		case d.Retired && d != c.retiring:
-			return fmt.Errorf("cpu: mainStores[%d] (seq=%d) is retired but still queued", i, d.Seq)
-		case prevStore != nil && prevStore.Seq >= d.Seq:
-			return fmt.Errorf("cpu: mainStores out of order at %d (seq %d then %d)", i, prevStore.Seq, d.Seq)
+	// Committed-store queues: each program's in-flight main-thread stores
+	// with a recorded memory effect, in fetch order.
+	for pi, prog := range c.progs {
+		var prevStore *DynInst
+		for i := 0; i < prog.mainStores.len(); i++ {
+			d := prog.mainStores.at(i)
+			switch {
+			case d == nil:
+				return fmt.Errorf("cpu: p%d mainStores[%d] is nil", pi, i)
+			case pooled[d]:
+				return fmt.Errorf("cpu: p%d mainStores[%d] (seq=%d) is a pooled instruction", pi, i, d.Seq)
+			case !d.Thread.IsMain:
+				return fmt.Errorf("cpu: p%d mainStores[%d] (seq=%d) belongs to a helper thread", pi, i, d.Seq)
+			case d.Thread.prog != prog:
+				return fmt.Errorf("cpu: p%d mainStores[%d] (seq=%d) belongs to program %d", pi, i, d.Seq, d.Thread.ProgIndex())
+			case !d.Static.IsStore():
+				return fmt.Errorf("cpu: p%d mainStores[%d] (seq=%d, pc=%#x) is not a store", pi, i, d.Seq, d.PC)
+			case !d.undoMemValid:
+				return fmt.Errorf("cpu: p%d mainStores[%d] (seq=%d) has no recorded memory effect", pi, i, d.Seq)
+			case d.Squashed:
+				return fmt.Errorf("cpu: p%d mainStores[%d] (seq=%d) is squashed but still queued", pi, i, d.Seq)
+			case d.Retired && d != c.retiring:
+				return fmt.Errorf("cpu: p%d mainStores[%d] (seq=%d) is retired but still queued", pi, i, d.Seq)
+			case prevStore != nil && prevStore.Seq >= d.Seq:
+				return fmt.Errorf("cpu: p%d mainStores out of order at %d (seq %d then %d)", pi, i, prevStore.Seq, d.Seq)
+			}
+			prevStore = d
 		}
-		prevStore = d
 	}
 
 	// Correlator structure, plus binding liveness against the pool: every
 	// bound Consumer must be a live in-flight instruction that still
-	// points back at its prediction.
-	if c.corr != nil {
-		if err := c.corr.CheckInvariants(); err != nil {
+	// points back at its prediction. Each program's correlator is checked
+	// against the shared pool.
+	for _, prog := range c.progs {
+		if prog.corr == nil {
+			continue
+		}
+		if err := prog.corr.CheckInvariants(); err != nil {
 			return err
 		}
 		var corrErr error
-		c.corr.ForEachLivePred(func(p *slicehw.Pred) {
+		prog.corr.ForEachLivePred(func(p *slicehw.Pred) {
 			if corrErr != nil || p.Consumer == nil {
 				return
 			}

@@ -79,10 +79,10 @@ func TestCheckInvariantsDetectsCorruption(t *testing.T) {
 		{
 			name: "store-queue-lost-undo",
 			corrupt: func(c *Core) {
-				if c.mainStores.len() == 0 {
+				if c.progs[0].mainStores.len() == 0 {
 					t.Skip("no in-flight stores at the stop point")
 				}
-				c.mainStores.front().undoMemValid = false
+				c.progs[0].mainStores.front().undoMemValid = false
 			},
 			want: "mainStores",
 		},

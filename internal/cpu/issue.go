@@ -129,12 +129,13 @@ func (c *Core) loadLatency(di *DynInst) uint64 {
 	if !di.Thread.IsMain {
 		kind = cache.KindHelper
 	}
-	r := c.hier.Access(di.Out.Addr, false, kind, c.now)
+	p := di.Thread.prog
+	r := c.hier.Access(p.physAddr(di.Out.Addr), false, kind, c.now)
 	di.MemResult = r
 	if kind == cache.KindHelper && (r.Level == cache.LevelL2 || r.Level == cache.LevelMem) {
 		// The helper load actually moved a line toward the L1 — a
 		// "prefetch performed" in Table 4's terms.
-		c.S.SlicePrefetches++
+		p.S.SlicePrefetches++
 	}
 	return r.Latency
 }
@@ -198,8 +199,17 @@ func (c *Core) completeStage() {
 func (c *Core) resolveCtrl(di *DynInst) {
 	t := di.Thread
 	if di.NoTargetPred {
-		// The front end stalled for this target; deliver it.
+		// The front end stalled for this target; deliver it. The path
+		// push predictCtrl deferred (no prediction existed to push)
+		// happens here with the *resolved* target, so later indirect
+		// predictions key on history a real target can match — pushing
+		// the 0 sentinel at fetch polluted the path for the rest of the
+		// run.
 		c.squashAfter(di)
+		if di.Static.IsIndirectCtrl() && !di.Static.IsRet() {
+			t.Path = bpred.PushPath(di.PathBefore, di.Out.Target)
+			di.PathAfter = t.Path
+		}
 		t.PC = di.actualNextPC()
 		t.waitResolve = nil
 		t.Fetching = true
@@ -229,16 +239,17 @@ func (c *Core) resolveCtrl(di *DynInst) {
 // early resolution when a late prediction contradicts the direction its
 // consumer fetched with.
 func (c *Core) fillPGI(di *DynInst) {
+	p := di.Thread.prog
 	val := di.Out.Value
 	dir := val != 0
 	if di.PGIRef.PGI.TakenIfZero {
 		dir = val == 0
 	}
-	res := c.corr.Fill(di.AllocPred, dir)
+	res := p.corr.Fill(di.AllocPred, dir)
 	if res.Applied {
 		// A helper actually produced a prediction — Table 4's
 		// "predictions generated", as opposed to predictions consumed.
-		c.S.PredsGenerated++
+		p.S.PredsGenerated++
 	}
 	if !res.LateMismatch {
 		return
@@ -251,7 +262,7 @@ func (c *Core) fillPGI(di *DynInst) {
 	// direction before the branch executes. Slices are not necessarily
 	// correct, so this can introduce extra squashes; those are repaired
 	// when the branch resolves (§5.3).
-	c.S.EarlyResolutions++
+	p.S.EarlyResolutions++
 	dirs := "not-taken"
 	if dir {
 		dirs = "taken"
@@ -265,5 +276,5 @@ func (c *Core) fillPGI(di *DynInst) {
 	consumer.HistAfter = t.Hist
 	t.PC = consumer.predictedNextPC()
 	t.Fetching = true
-	c.corr.RedirectUse(consumer.UsedPred, dir)
+	p.corr.RedirectUse(consumer.UsedPred, dir)
 }

@@ -108,8 +108,8 @@ func (c *Core) releaseRetired(d *DynInst) {
 		}
 		d.nextWriter = nil
 	}
-	if c.corr != nil && d.UsedPred != nil {
-		c.corr.DropConsumer(d.UsedPred, d)
+	if p := d.Thread.prog; p.corr != nil && d.UsedPred != nil {
+		p.corr.DropConsumer(d.UsedPred, d)
 	}
 	c.dropForkRefs(d)
 	c.pool = append(c.pool, d)

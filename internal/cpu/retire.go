@@ -6,14 +6,17 @@ import (
 	"repro/internal/stats"
 )
 
-// retireStage commits completed instructions in order, main thread first.
+// retireStage commits completed instructions in order, main threads first.
 // Predictor training, PDE attribution, and store write-back all happen
-// here, on the architecturally correct path only.
+// here, on the architecturally correct path only. CommitWidth is shared
+// across programs; main threads drain in thread-index (program slot)
+// order, which keeps multi-programmed retirement deterministic.
 func (c *Core) retireStage() {
 	retired := 0
-	// Main first, then helpers (helper "retirement" just drains the
-	// window; slices have no architectural state).
-	for _, t := range c.threadsMainFirst() {
+	// Mains first, then helpers (helper "retirement" just drains the
+	// window; slices have no architectural state). Thread slots are laid
+	// out mains-first, so plain index order is that order.
+	for _, t := range c.threads {
 		if !t.Alive {
 			continue
 		}
@@ -23,8 +26,8 @@ func (c *Core) retireStage() {
 				break
 			}
 			if t.IsMain && di.Static.IsStore() && !di.Out.Fault {
-				if !c.hier.StoreRetire(di.Out.Addr, c.now) {
-					c.S.RetireStalls++
+				if !c.hier.StoreRetire(t.prog.physAddr(di.Out.Addr), c.now) {
+					t.prog.S.RetireStalls++
 					if c.tracer != nil {
 						c.emit(stats.Event{Kind: stats.EvRetireStall, PC: di.PC, Addr: di.Out.Addr})
 					}
@@ -38,14 +41,10 @@ func (c *Core) retireStage() {
 	}
 }
 
-func (c *Core) threadsMainFirst() []*Thread {
-	// threads[0] is always the main thread.
-	return c.threads
-}
-
 func (c *Core) retireInst(di *DynInst) {
 	di.Retired = true
 	t := di.Thread
+	p := t.prog
 	if t.IsMain || !c.Cfg.DedicatedSliceResources {
 		c.window--
 	}
@@ -57,12 +56,12 @@ func (c *Core) retireInst(di *DynInst) {
 	t.RAS.Commit(di.RASAfter)
 
 	if !t.IsMain {
-		c.S.HelperRetired++
+		p.S.HelperRetired++
 		c.releaseRetired(di)
 		return
 	}
 
-	c.S.MainRetired++
+	p.S.MainRetired++
 	if c.RetireObserver != nil {
 		// The differential oracle sees the committed stream here, while
 		// the instruction's outcome and undo state are still intact.
@@ -74,24 +73,24 @@ func (c *Core) retireInst(di *DynInst) {
 	}
 	in := di.Static
 	pc := di.PC
-	st := c.staticFor(pc)
+	st := p.staticFor(pc)
 	st.Execs++
 
 	switch {
 	case in.IsLoad():
 		st.IsLoad = true
-		c.S.Loads++
+		p.S.Loads++
 		miss := !di.forwarded && !di.PerfectLoad && !di.Out.Fault &&
 			di.MemResult.Latency > c.Cfg.Mem.LatL1
 		if miss {
 			st.Misses++
-			c.S.LoadMisses++
+			p.S.LoadMisses++
 		}
-		if c.conf != nil {
-			c.conf.observe(pc, miss)
+		if p.conf != nil {
+			p.conf.observe(pc, miss)
 		}
 		if di.MemResult.HelperCovered {
-			c.S.MissesCovered++
+			p.S.MissesCovered++
 		}
 
 	case in.IsCondBranch():
@@ -99,63 +98,64 @@ func (c *Core) retireInst(di *DynInst) {
 			c.DebugRetireBranch(di)
 		}
 		st.IsBranch = true
-		c.S.Branches++
+		p.S.Branches++
 		if di.Out.Taken {
 			st.Taken++
 		}
 		if di.Mispredicted {
 			st.Mispredicts++
-			c.S.Mispredicts++
+			p.S.Mispredicts++
 		}
-		if c.conf != nil {
-			c.conf.observe(pc, di.Mispredicted)
+		if p.conf != nil {
+			p.conf.observe(pc, di.Mispredicted)
 		}
 		// Train the conventional predictor with the true history. Value
 		// observation comes first, mirroring program order: the source
-		// value existed before the outcome resolved.
+		// value existed before the outcome resolved. The shared tables are
+		// indexed through the program's PC salt, matching predictCtrl.
 		if !c.Cfg.Perfect.CoversBranch(pc) {
 			if c.dirVal != nil {
-				c.dirVal.ObserveValue(pc, condOf(in.Op), di.CondVal)
+				c.dirVal.ObserveValue(p.saltPC(pc), condOf(in.Op), di.CondVal)
 			}
-			c.dir.Update(pc, di.HistBefore, di.Out.Taken)
+			c.dir.Update(p.saltPC(pc), di.HistBefore, di.Out.Taken)
 		}
 		// Slice-prediction accounting (Table 4).
 		if di.UsedPred != nil && di.UsedOverride {
-			c.S.PredsUsed++
+			p.S.PredsUsed++
 			if di.UsedPred.UsedDir == di.Out.Taken {
-				c.S.PredsCorrect++
+				p.S.PredsCorrect++
 			} else {
-				c.S.PredsIncorrect++
+				p.S.PredsIncorrect++
 				if c.DebugWrongOverride != nil {
 					c.DebugWrongOverride(di)
 				}
 			}
 		}
 		if di.UsedPred != nil && !di.UsedOverride {
-			c.S.PredsLateUsed++
+			p.S.PredsLateUsed++
 		}
 
 	case in.Op == isa.JMP || in.Op == isa.CALLR:
-		c.S.IndirectJumps++
+		p.S.IndirectJumps++
 		if di.Mispredicted || di.NoTargetPred {
-			c.S.IndirectMisses++
+			p.S.IndirectMisses++
 		}
 		if !c.Cfg.Perfect.CoversBranch(pc) {
-			c.indirect.Update(pc, di.PathBefore, di.Out.Target)
+			c.indirect.Update(p.saltPC(pc), di.PathBefore, di.Out.Target)
 		}
 
 	case di.Out.Halt:
-		c.mainHalted = true
+		p.halted = true
 	}
 
-	if c.corr != nil {
+	if p.corr != nil {
 		for _, rec := range di.KillRecs {
-			c.corr.CommitKill(rec)
+			p.corr.CommitKill(rec)
 		}
 	}
 
 	if di.undoMemValid {
-		c.dropRetiredStore(di)
+		p.dropRetiredStore(di)
 	}
 	c.releaseRetired(di)
 }

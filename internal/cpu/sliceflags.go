@@ -7,7 +7,9 @@ import "repro/internal/isa"
 // (forks, loop kills, slice kills — plus the PGI table for helpers), and
 // those hash lookups showed up hot. One byte per image PC answers "does
 // anything fire here" with a range check and an array index; the maps are
-// consulted only on the rare PCs that actually carry slice hardware.
+// consulted only on the rare PCs that actually carry slice hardware. The
+// cache lives on the progState: each co-scheduled program indexes its own
+// slice table.
 
 const (
 	sfFork      = 1 << iota // a slice forks at this PC
@@ -21,40 +23,40 @@ type sliceSeg struct {
 	flags     []uint8
 }
 
-func (c *Core) initSliceFlags() {
-	if c.sliceTable == nil {
+func (p *progState) initSliceFlags() {
+	if p.sliceTable == nil {
 		return
 	}
-	for _, p := range c.image.Programs() {
-		n := int((p.End() - p.Base) / isa.InstBytes)
-		seg := sliceSeg{base: p.Base, end: p.End(), flags: make([]uint8, n)}
+	for _, pr := range p.image.Programs() {
+		n := int((pr.End() - pr.Base) / isa.InstBytes)
+		seg := sliceSeg{base: pr.Base, end: pr.End(), flags: make([]uint8, n)}
 		for i := 0; i < n; i++ {
-			pc := p.Base + uint64(i)*isa.InstBytes
+			pc := pr.Base + uint64(i)*isa.InstBytes
 			var f uint8
-			if len(c.sliceTable.ForksAt(pc)) > 0 {
+			if len(p.sliceTable.ForksAt(pc)) > 0 {
 				f |= sfFork
 			}
-			if len(c.sliceTable.LoopKillsAt(pc)) > 0 {
+			if len(p.sliceTable.LoopKillsAt(pc)) > 0 {
 				f |= sfLoopKill
 			}
-			if len(c.sliceTable.SliceKillsAt(pc)) > 0 {
+			if len(p.sliceTable.SliceKillsAt(pc)) > 0 {
 				f |= sfSliceKill
 			}
-			if _, ok := c.sliceTable.PGIAt(pc); ok {
+			if _, ok := p.sliceTable.PGIAt(pc); ok {
 				f |= sfPGI
 			}
 			seg.flags[i] = f
 		}
-		c.sliceSegs = append(c.sliceSegs, seg)
+		p.sliceSegs = append(p.sliceSegs, seg)
 	}
 }
 
 // sliceFlags returns the flag byte for pc, 0 when nothing fires there.
 // Off-image PCs return 0, which matches the table maps (they only ever
 // contain image PCs).
-func (c *Core) sliceFlags(pc uint64) uint8 {
-	for i := range c.sliceSegs {
-		s := &c.sliceSegs[i]
+func (p *progState) sliceFlags(pc uint64) uint8 {
+	for i := range p.sliceSegs {
+		s := &p.sliceSegs[i]
 		if pc >= s.base && pc < s.end {
 			return s.flags[(pc-s.base)/isa.InstBytes]
 		}

@@ -56,20 +56,21 @@ func (c *Core) squashInst(x *DynInst) {
 		return
 	}
 	x.Squashed = true
+	p := x.Thread.prog
 	// Capture before undo() clears the record: a noted store must leave
 	// the committed-store queue.
 	notedStore := x.Thread.IsMain && x.undoMemValid
 	x.undo(c)
 
-	if c.corr != nil {
+	if p.corr != nil {
 		if x.UsedPred != nil {
-			c.corr.UndoUse(x.UsedPred)
+			p.corr.UndoUse(x.UsedPred)
 		}
 		for i := len(x.KillRecs) - 1; i >= 0; i-- {
-			c.corr.UndoKill(x.KillRecs[i])
+			p.corr.UndoKill(x.KillRecs[i])
 		}
 		if x.AllocPred != nil {
-			c.corr.UndoAllocate(x.AllocPred)
+			p.corr.UndoAllocate(x.AllocPred)
 		}
 	}
 	for _, h := range x.Forked {
@@ -84,11 +85,11 @@ func (c *Core) squashInst(x *DynInst) {
 		}
 	}
 	if x.Thread.IsMain {
-		c.S.MainWrongPath++
+		p.S.MainWrongPath++
 	}
 	c.deregister(x)
 	if notedStore {
-		c.dropSquashedStore(x)
+		p.dropSquashedStore(x)
 	}
 	c.releaseSquashed(x)
 }
@@ -100,7 +101,8 @@ func (c *Core) squashHelper(h *Thread) {
 	if !h.Alive {
 		return
 	}
-	c.S.ForksSquashed++
+	p := h.prog
+	p.S.ForksSquashed++
 	if h.Slice != nil {
 		c.emit(stats.Event{Kind: stats.EvForkSquash, Slice: h.Slice.Index})
 	}
@@ -110,8 +112,8 @@ func (c *Core) squashHelper(h *Thread) {
 	for h.rob.len() > 0 {
 		c.squashInst(h.rob.popBack())
 	}
-	if c.corr != nil {
-		c.corr.RemoveInstance(h.Instance)
+	if p.corr != nil {
+		p.corr.RemoveInstance(h.Instance)
 	}
 	h.Alive = false
 	h.Fetching = false

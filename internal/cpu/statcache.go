@@ -9,41 +9,42 @@ import (
 // so the retire path does a range check and an array index instead of a
 // map lookup (which hashes every retire and allocates on first touch
 // mid-measurement). ResetStats swaps the underlying Static map out
-// wholesale, so the cache is invalidated there.
+// wholesale, so the cache is invalidated there. The cache lives on the
+// progState: each co-scheduled program caches against its own Sim.
 type staticSeg struct {
 	base, end uint64
 	slots     []*stats.Static
 }
 
-func (c *Core) initStatCache() {
-	for _, p := range c.image.Programs() {
-		n := int((p.End() - p.Base) / isa.InstBytes)
-		c.statSegs = append(c.statSegs, staticSeg{base: p.Base, end: p.End(), slots: make([]*stats.Static, n)})
+func (p *progState) initStatCache() {
+	for _, pr := range p.image.Programs() {
+		n := int((pr.End() - pr.Base) / isa.InstBytes)
+		p.statSegs = append(p.statSegs, staticSeg{base: pr.Base, end: pr.End(), slots: make([]*stats.Static, n)})
 	}
 }
 
 // staticFor is Sim.ByPC through the per-program cache.
-func (c *Core) staticFor(pc uint64) *stats.Static {
-	for i := range c.statSegs {
-		s := &c.statSegs[i]
+func (p *progState) staticFor(pc uint64) *stats.Static {
+	for i := range p.statSegs {
+		s := &p.statSegs[i]
 		if pc >= s.base && pc < s.end {
 			idx := (pc - s.base) / isa.InstBytes
 			if st := s.slots[idx]; st != nil {
 				return st
 			}
-			st := c.S.ByPC(pc)
+			st := p.S.ByPC(pc)
 			s.slots[idx] = st
 			return st
 		}
 	}
-	return c.S.ByPC(pc)
+	return p.S.ByPC(pc)
 }
 
 // invalidateStatCache drops every cached pointer; the next retire per PC
 // re-resolves against the (fresh) Static map.
-func (c *Core) invalidateStatCache() {
-	for i := range c.statSegs {
-		slots := c.statSegs[i].slots
+func (p *progState) invalidateStatCache() {
+	for i := range p.statSegs {
+		slots := p.statSegs[i].slots
 		for j := range slots {
 			slots[j] = nil
 		}

@@ -22,6 +22,11 @@ type Thread struct {
 	PC   uint64
 	Regs [isa.NumRegs]uint64
 
+	// prog is the program this thread serves: its own for a main thread,
+	// the forking main's for a helper. Set at New (mains) and at fork
+	// (helpers); never nil for a live thread.
+	prog *progState
+
 	// Speculative front-end state.
 	Hist uint64
 	Path uint64
@@ -63,6 +68,16 @@ func newThread(id int, rasEntries, fetchqCap, robCap int) *Thread {
 
 // inflight returns the thread's in-flight instruction count (ICOUNT).
 func (t *Thread) inflight() int { return t.fetchq.len() + t.rob.len() }
+
+// ProgIndex returns the program slot this thread serves (a helper reports
+// its forker's program). RetireObserver callbacks route multi-programmed
+// retirement streams by it.
+func (t *Thread) ProgIndex() int {
+	if t.prog == nil {
+		return 0
+	}
+	return t.prog.index
+}
 
 // reset clears the context for reuse as a helper.
 func (t *Thread) reset() {
@@ -109,29 +124,30 @@ func (e *execCtx) SetReg(r isa.Reg, v uint64) {
 
 func (e *execCtx) Load(addr uint64, size int) (uint64, bool) {
 	if !e.t.IsMain {
-		// Helper threads see the *committed* memory image: a real SMT's
-		// store buffer is private to the main thread until retirement, so
-		// slices never observe wrong-path stores (which would poison
-		// their predictions and prefetches).
-		return e.c.committedRead(addr, size)
+		// Helper threads see the *committed* memory image of their own
+		// program: a real SMT's store buffer is private to the main thread
+		// until retirement, so slices never observe wrong-path stores
+		// (which would poison their predictions and prefetches).
+		return e.t.prog.committedRead(addr, size)
 	}
-	return e.c.mem.Read(addr, size)
+	return e.t.prog.mem.Read(addr, size)
 }
 
 func (e *execCtx) Store(addr uint64, size int, v uint64) bool {
-	old, _ := e.c.mem.Read(addr, size)
+	m := e.t.prog.mem
+	old, _ := m.Read(addr, size)
 	e.di.undoMemValid = true
 	e.di.undoMemAddr = addr
 	e.di.undoMemSize = size
 	e.di.undoMemVal = old
-	return e.c.mem.Write(addr, size, v)
+	return m.Write(addr, size, v)
 }
 
 // undo reverses the functional side effects of one instruction. Callers
 // must undo instructions youngest-first within a thread.
 func (d *DynInst) undo(c *Core) {
 	if d.undoMemValid {
-		c.mem.Write(d.undoMemAddr, d.undoMemSize, d.undoMemVal)
+		d.Thread.prog.mem.Write(d.undoMemAddr, d.undoMemSize, d.undoMemVal)
 		d.undoMemValid = false
 	}
 	if d.undoRegValid {

@@ -25,7 +25,12 @@ import "repro/internal/workloads"
 // leaseTakeovers, evictions, evictedBytes). Purely additive, same
 // compatibility story as v3/v4; the new counters are zero unless a
 // shared -checkpoint-dir (or the sweep service) is in play.
-const ExportSchema = "specslice-experiments/5"
+//
+// v6: added figureMP, the multi-programmed SMT contention experiment
+// (per-co-schedule, per-program IPC with and without slices, slice
+// accuracy under contention, and cache-interference deltas). Purely
+// additive, same compatibility story as v3/v4/v5.
+const ExportSchema = "specslice-experiments/6"
 
 // Export is the whole evaluation — every table and figure of the paper —
 // as one machine-readable document, the JSON counterpart of the formatted
@@ -45,7 +50,9 @@ type Export struct {
 	FigurePred []FigurePredRow `json:"figurePred"`
 	// FigureAuto is the automatic slice-construction comparison (schema v4).
 	FigureAuto []FigureAutoRow `json:"figureAuto"`
-	Engine     ExportEngine    `json:"engine"`
+	// FigureMP is the multi-programmed contention experiment (schema v6).
+	FigureMP []FigureMPRow `json:"figureMP"`
+	Engine   ExportEngine  `json:"engine"`
 }
 
 // ExportEngine summarizes the run that produced the document.
@@ -114,6 +121,7 @@ func (e *Engine) Export(ws []*workloads.Workload) Export {
 	doc.Table4 = e.Table4(ws)
 	doc.FigurePred = e.FigurePred(ws)
 	doc.FigureAuto = e.FigureAuto(ws)
+	doc.FigureMP = e.FigureMP(ws)
 	doc.Engine = e.Stats().Export()
 	return doc
 }

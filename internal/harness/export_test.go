@@ -75,6 +75,11 @@ func TestExportDocumentShape(t *testing.T) {
 			t.Errorf("%s has %d rows, want %d", name, n, len(ws))
 		}
 	}
+	// figureMP is per co-schedule, not per workload: 2 workloads form one
+	// pair, each side with a per-program row.
+	if len(doc.FigureMP) != 1 || len(doc.FigureMP[0].Programs) != 2 {
+		t.Errorf("figureMP = %+v, want one 2-program co-schedule", doc.FigureMP)
+	}
 	if doc.Engine.Simulations == 0 || doc.Engine.SimInsts == 0 {
 		t.Errorf("engine counters not populated: %+v", doc.Engine)
 	}
@@ -143,6 +148,30 @@ func TestExportReaderToleratesV4(t *testing.T) {
 	if len(doc.FigureAuto) == 0 || len(doc.FigurePred) == 0 || len(doc.Table2) == 0 ||
 		doc.Engine.Simulations == 0 {
 		t.Error("v4 fields did not survive the v5 reader")
+	}
+}
+
+// TestExportReaderToleratesV5 does the same for the v5 → v6 step: v6 only
+// added figureMP, so a stored v5 document must parse with figureMP absent
+// and everything else intact.
+func TestExportReaderToleratesV5(t *testing.T) {
+	b, err := os.ReadFile(filepath.Join("testdata", "export_vpr.v5.golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc Export
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("v6 reader failed on a v5 document: %v", err)
+	}
+	if doc.Schema != "specslice-experiments/5" {
+		t.Errorf("schema = %q, want the stored v5 tag", doc.Schema)
+	}
+	if doc.FigureMP != nil {
+		t.Errorf("v5 document produced %d figureMP rows, want none", len(doc.FigureMP))
+	}
+	if len(doc.FigureAuto) == 0 || len(doc.FigurePred) == 0 || len(doc.Table2) == 0 ||
+		doc.Engine.Simulations == 0 {
+		t.Error("v5 fields did not survive the v6 reader")
 	}
 }
 

@@ -221,3 +221,32 @@ Slices      4 thread contexts (1 main + 3 helpers); ICOUNT fetch biased to
             correlator with 16 predictions per branch.
 `
 }
+
+// FormatFigureMP renders the multi-programmed contention experiment: per
+// co-schedule, each program's solo and co-scheduled IPCs, the slice
+// speedup under contention, and the cache-interference delta.
+func FormatFigureMP(rows []FigureMPRow) string {
+	var sb strings.Builder
+	sb.WriteString("Figure MP. Slice-assisted execution under multi-programmed contention (4-wide).\n")
+	sb.WriteString(table(func(w *tabwriter.Writer) {
+		fmt.Fprintln(w, "schedule\tprogram\tsolo IPC\tbase IPC\tslice IPC\tslice%\tmiss% solo→base\tpreds used\tacc%\tprefetches")
+		for _, r := range rows {
+			for i, p := range r.Programs {
+				sched := ""
+				if i == 0 {
+					sched = r.Schedule
+				}
+				fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%s\t%s\t%s → %s\t%d\t%s\t%d\n",
+					sched, p.Program,
+					fnum("%.2f", p.SoloIPC), fnum("%.2f", p.BaseIPC), fnum("%.2f", p.SliceIPC),
+					fnum("%+.1f%%", p.SliceSpeedupPct),
+					fnum("%.1f", p.SoloMissPct), fnum("%.1f", p.BaseMissPct),
+					p.PredsUsed, fnum("%.0f", p.PredAccuracyPct), p.Prefetches)
+			}
+			fmt.Fprintf(w, "\tthroughput\t\t%s\t%s\t%s\t\t\t\t\n",
+				fnum("%.2f", r.BaseThroughput), fnum("%.2f", r.SliceThroughput),
+				fnum("%+.1f%%", r.ThroughputGainPct))
+		}
+	}))
+	return sb.String()
+}

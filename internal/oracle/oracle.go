@@ -376,17 +376,22 @@ func (o *Oracle) VerifyFinal(c *cpu.Core) error {
 	if !c.Done() {
 		return fmt.Errorf("oracle: VerifyFinal on a core that is not drained")
 	}
+	o.verifyFinalRegs(c.Main())
+	return o.Err()
+}
+
+// verifyFinalRegs diffs one drained main thread's register file against
+// the functional model, recording a "final-regs" divergence on mismatch.
+func (o *Oracle) verifyFinalRegs(t *cpu.Thread) {
 	var delta []string
 	for r := 1; r < isa.NumRegs; r++ {
-		if cv, ov := c.Main().Regs[r], o.ma.Reg(isa.Reg(r)); cv != ov {
+		if cv, ov := t.Regs[r], o.ma.Reg(isa.Reg(r)); cv != ov {
 			delta = append(delta, fmt.Sprintf("r%d: core=%#x model=%#x", r, cv, ov))
 		}
 	}
 	if len(delta) > 0 {
 		o.reportAt(nil, o.index, "final-regs", "architectural register file differs after drain", delta)
-		return o.Err()
 	}
-	return nil
 }
 
 // SpotCheckRestore validates Checkpoint/Restore round-trip equivalence

@@ -35,6 +35,10 @@ func zeroValue(v reflect.Value) {
 		if !v.IsNil() {
 			v.Set(reflect.MakeMap(v.Type()))
 		}
+	case reflect.Slice:
+		for i := 0; i < v.Len(); i++ {
+			zeroValue(v.Index(i))
+		}
 	case reflect.Pointer:
 		if !v.IsNil() {
 			zeroValue(v.Elem())
@@ -119,6 +123,17 @@ func addValue(d, s reflect.Value) {
 				d.SetMapIndex(it.Key(), tmp)
 			}
 		}
+	case reflect.Slice:
+		// Slices are positional (e.g. Snapshot.Progs is slot-aligned):
+		// overlapping indices accumulate element-wise, and src's extra
+		// elements are deep-copied onto the end.
+		for i := 0; i < s.Len(); i++ {
+			if i < d.Len() {
+				addValue(d.Index(i), s.Index(i))
+			} else {
+				d.Set(reflect.Append(d, deepCopyValue(s.Index(i))))
+			}
+		}
 	case reflect.Pointer:
 		if s.IsNil() {
 			return
@@ -179,6 +194,17 @@ func subValue(d, s reflect.Value) {
 				d.SetMapIndex(it.Key(), tmp)
 			}
 		}
+	case reflect.Slice:
+		for i := 0; i < s.Len(); i++ {
+			if i >= d.Len() {
+				// As with maps: synthesize a zero element so the delta is
+				// well-defined and the inconsistency shows as negatives.
+				z := deepCopyValue(s.Index(i))
+				zeroFrom(z)
+				d.Set(reflect.Append(d, z))
+			}
+			subValue(d.Index(i), s.Index(i))
+		}
 	case reflect.Pointer:
 		if s.IsNil() {
 			return
@@ -230,6 +256,15 @@ func deepCopyValue(v reflect.Value) reflect.Value {
 		it := v.MapRange()
 		for it.Next() {
 			cp.SetMapIndex(it.Key(), deepCopyValue(it.Value()))
+		}
+		return cp
+	case reflect.Slice:
+		if v.IsNil() {
+			return v
+		}
+		cp := reflect.MakeSlice(v.Type(), v.Len(), v.Len())
+		for i := 0; i < v.Len(); i++ {
+			cp.Index(i).Set(deepCopyValue(v.Index(i)))
 		}
 		return cp
 	case reflect.Struct:

@@ -22,6 +22,12 @@ type Snapshot struct {
 	PVB   CacheStats
 	Bpred BpredStats
 	Corr  CorrStats
+	// Progs holds per-program whole-run counters for multi-programmed
+	// cores, slot-aligned with the program specs. Nil on single-program
+	// cores, so their serialized form is unchanged. Sim is always program
+	// 0's view (c.S aliases progs[0].S); consumers wanting cross-program
+	// aggregates sum over Progs themselves.
+	Progs []Sim `json:",omitempty"`
 }
 
 // Reset zeroes every counter in the snapshot.

@@ -5,12 +5,20 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/workloads"
 )
 
 // runItem is one scheduled simulation: the canonical RunSpec plus the
-// prefilled result record and its place in the priority queue.
+// prefilled result record and its place in the priority queue. When mp is
+// non-empty the item is a co-scheduled multi-programmed run instead —
+// spec is unused and execution goes through Engine.RunMP with the
+// expansion-time region lengths (mpWarm/mpRun capture the sweep's Scale,
+// which the engine's own params do not know about).
 type runItem struct {
 	spec     harness.RunSpec
+	mp       []*workloads.Workload
+	mpWarm   uint64
+	mpRun    uint64
 	oracle   bool
 	priority int
 	seq      int64 // global admission order, the FIFO tiebreaker

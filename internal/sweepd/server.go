@@ -380,6 +380,10 @@ func (s *Server) execute(it *runItem) {
 		it.finish(s)
 		return
 	}
+	if len(it.mp) > 0 {
+		s.executeMP(it)
+		return
+	}
 	res, memoized, err := s.eng.RunTracked(it.spec, it.oracle)
 	if err != nil {
 		it.rec.Err = err.Error()
@@ -394,6 +398,42 @@ func (s *Server) execute(it *runItem) {
 	it.rec.LoadMisses = sim.LoadMisses
 	it.rec.WallMS = res.Wall.Milliseconds()
 	it.rec.Memoized = memoized
+	it.finish(s)
+}
+
+// executeMP runs one co-scheduled item. These are never memoized (each
+// is one whole simulation), so Memoized stays false and the record's
+// flat counters report the cross-program aggregate with the per-program
+// breakdown alongside.
+func (s *Server) executeMP(it *runItem) {
+	res, err := s.eng.RunMP(it.mp, it.rec.WithSlices, it.oracle, it.mpWarm, it.mpRun)
+	if err != nil {
+		it.rec.Err = err.Error()
+		it.finish(s)
+		return
+	}
+	// Snapshot.Sim is program 0's view; the record's flat counters are the
+	// cross-program aggregate, summed here over the per-program sections.
+	// Cycles are wall cycles (every program's counter ticks every cycle),
+	// so the aggregate IPC is total retirement per wall cycle: throughput.
+	for i, w := range it.mp {
+		ps := &res.Snap.Progs[i]
+		it.rec.Insts += ps.MainRetired
+		it.rec.Mispredicts += ps.Mispredicts
+		it.rec.LoadMisses += ps.LoadMisses
+		it.rec.Programs = append(it.rec.Programs, ProgRecord{
+			Workload:    w.Name,
+			Insts:       ps.MainRetired,
+			IPC:         ps.IPC(),
+			Mispredicts: ps.Mispredicts,
+			LoadMisses:  ps.LoadMisses,
+		})
+	}
+	it.rec.Cycles = res.Snap.Progs[0].Cycles
+	if it.rec.Cycles > 0 {
+		it.rec.IPC = float64(it.rec.Insts) / float64(it.rec.Cycles)
+	}
+	it.rec.WallMS = res.Wall.Milliseconds()
 	it.finish(s)
 }
 

@@ -11,6 +11,7 @@ package sweepd
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/bpred"
 	"repro/internal/cpu"
@@ -29,8 +30,18 @@ const Schema = "specslice-sweep/1"
 type SweepSpec struct {
 	// Schema, when set, must equal Schema; empty is accepted as current.
 	Schema string `json:"schema,omitempty"`
-	// Workloads lists workload names (workloads.ByName); empty = all.
+	// Workloads lists workload names (workloads.ByName); empty = all —
+	// unless CoSchedules is set, in which case empty means none (a
+	// co-schedule-only sweep does not implicitly drag in every
+	// single-program run).
 	Workloads []string `json:"workloads,omitempty"`
+	// CoSchedules lists multi-programmed runs: each entry is 2–4 workload
+	// names co-scheduled on one core (harness.RunMP). Co-schedules cross
+	// with Configs like Workloads do, but run only on the default 4-wide
+	// machine — a leg with Width 8, a predictor override, or
+	// SlicePredictionsOff rejects the sweep. Co-scheduled runs are whole
+	// simulations every time: never memoized, never checkpointed.
+	CoSchedules [][]string `json:"coSchedules,omitempty"`
 	// Configs lists machine legs; empty = one default leg.
 	Configs []ConfigSpec `json:"configs,omitempty"`
 	// Scale overrides the server's region scale for this sweep (0 = server
@@ -120,7 +131,7 @@ func (c ConfigSpec) label() string {
 // would build for the identical leg.
 func expand(p harness.Params, spec SweepSpec) ([]*runItem, error) {
 	var ws []*workloads.Workload
-	if len(spec.Workloads) == 0 {
+	if len(spec.Workloads) == 0 && len(spec.CoSchedules) == 0 {
 		ws = workloads.All()
 	} else {
 		for _, name := range spec.Workloads {
@@ -134,6 +145,23 @@ func expand(p harness.Params, spec SweepSpec) ([]*runItem, error) {
 	cfgs := spec.Configs
 	if len(cfgs) == 0 {
 		cfgs = []ConfigSpec{{}}
+	}
+	// Resolve and bounds-check the co-schedule groups once, before the
+	// config cross product.
+	var groups [][]*workloads.Workload
+	for _, names := range spec.CoSchedules {
+		if len(names) < 2 || len(names) > cpu.MaxPrograms {
+			return nil, fmt.Errorf("co-schedule %v: want 2..%d workloads", names, cpu.MaxPrograms)
+		}
+		var g []*workloads.Workload
+		for _, name := range names {
+			w, err := workloads.ByName(name)
+			if err != nil {
+				return nil, fmt.Errorf("co-schedule %v: %w", names, err)
+			}
+			g = append(g, w)
+		}
+		groups = append(groups, g)
 	}
 	var items []*runItem
 	seq := 0
@@ -160,8 +188,37 @@ func expand(p harness.Params, spec SweepSpec) ([]*runItem, error) {
 			})
 			seq++
 		}
+		if len(groups) > 0 && (c.Width == 8 || c.SlicePredictionsOff || c.BPred != "" || c.IPred != "") {
+			return nil, fmt.Errorf("config %q: co-schedules run only on the default 4-wide machine", c.label())
+		}
+		for gi, g := range groups {
+			warm, run := harness.MPRegions(p, g)
+			items = append(items, &runItem{
+				mp:       g,
+				mpWarm:   warm,
+				mpRun:    run,
+				oracle:   spec.Oracle,
+				priority: spec.Priority,
+				rec: Record{
+					Type:       "run",
+					Seq:        seq,
+					Workload:   mpName(spec.CoSchedules[gi]),
+					Config:     c.label(),
+					WithSlices: c.WithSlices,
+					Warm:       warm,
+					Run:        run,
+				},
+			})
+			seq++
+		}
 	}
 	return items, nil
+}
+
+// mpName is the co-schedule's record label, "vpr+mcf" style — the same
+// schedule name the figureMP rows use.
+func mpName(names []string) string {
+	return strings.Join(names, "+")
 }
 
 // Record is one NDJSON line of a sweep response stream. Type selects the
@@ -190,12 +247,16 @@ type Record struct {
 	Warm       uint64 `json:"warm,omitempty"`
 	Run        uint64 `json:"run,omitempty"`
 
-	// run results.
-	Cycles      uint64  `json:"cycles,omitempty"`
-	Insts       uint64  `json:"insts,omitempty"`
-	IPC         float64 `json:"ipc,omitempty"`
-	Mispredicts uint64  `json:"mispredicts,omitempty"`
-	LoadMisses  uint64  `json:"loadMisses,omitempty"`
+	// run results. On co-scheduled runs the flat counters are the
+	// cross-program aggregate (IPC is throughput: total retirement per
+	// wall cycle) and Programs carries the per-program breakdown in slot
+	// order. Additive on specslice-sweep/1: single-program records omit it.
+	Cycles      uint64       `json:"cycles,omitempty"`
+	Insts       uint64       `json:"insts,omitempty"`
+	IPC         float64      `json:"ipc,omitempty"`
+	Mispredicts uint64       `json:"mispredicts,omitempty"`
+	LoadMisses  uint64       `json:"loadMisses,omitempty"`
+	Programs    []ProgRecord `json:"programs,omitempty"`
 
 	// run provenance.
 	WallMS     int64  `json:"wallMs,omitempty"`
@@ -217,6 +278,18 @@ type Record struct {
 	// error.
 	Error         string `json:"error,omitempty"`
 	RetryAfterSec int    `json:"retryAfterSec,omitempty"`
+}
+
+// ProgRecord is one program's slice of a co-scheduled run record. Its
+// cycles are the run's wall cycles (every program's counter ticks every
+// cycle), so IPC here is directly comparable with the program's
+// single-program records.
+type ProgRecord struct {
+	Workload    string  `json:"workload"`
+	Insts       uint64  `json:"insts"`
+	IPC         float64 `json:"ipc"`
+	Mispredicts uint64  `json:"mispredicts,omitempty"`
+	LoadMisses  uint64  `json:"loadMisses,omitempty"`
 }
 
 // StatsDoc is the GET /v1/stats document.

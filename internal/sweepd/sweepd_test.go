@@ -136,6 +136,93 @@ func TestSweepSubmitStream(t *testing.T) {
 	}
 }
 
+// TestSweepCoSchedule: a sweep mixing single-program legs and a
+// co-schedule streams records for both. Co-scheduled records carry the
+// per-program breakdown, are never memoized, and reproduce a direct
+// harness.RunMP of the same group byte-for-byte; config legs a
+// co-schedule cannot run on reject the whole sweep up front.
+func TestSweepCoSchedule(t *testing.T) {
+	_, hs := newTestServer(t, 2, 0, "")
+	spec := SweepSpec{
+		Workloads:   []string{"vpr"},
+		CoSchedules: [][]string{{"vpr", "mcf"}},
+		Configs:     []ConfigSpec{{}, {WithSlices: true}},
+	}
+	recs, done := postSweep(t, hs.URL, spec, nil)
+	// 1 workload × 2 configs + 1 co-schedule × 2 configs.
+	if recs[0].Runs != 4 || done.Completed != 4 || done.Errors != 0 {
+		t.Fatalf("accepted %d runs, done %+v, want 4 clean", recs[0].Runs, done)
+	}
+	var mp []Record
+	for _, r := range recs {
+		if r.Type == "run" && len(r.Programs) > 0 {
+			mp = append(mp, r)
+		}
+	}
+	if len(mp) != 2 {
+		t.Fatalf("got %d co-scheduled records, want 2", len(mp))
+	}
+	group := []*workloads.Workload{}
+	for _, name := range []string{"vpr", "mcf"} {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		group = append(group, w)
+	}
+	for _, r := range mp {
+		if r.Workload != "vpr+mcf" || r.Memoized || r.Err != "" {
+			t.Errorf("co-scheduled record = %+v, want unmemoized vpr+mcf", r)
+		}
+		if len(r.Programs) != 2 || r.Programs[0].Workload != "vpr" || r.Programs[1].Workload != "mcf" {
+			t.Fatalf("programs = %+v, want [vpr mcf]", r.Programs)
+		}
+		var sum uint64
+		for _, p := range r.Programs {
+			sum += p.Insts
+			if p.IPC <= 0 || p.Insts == 0 {
+				t.Errorf("degenerate program record %+v", p)
+			}
+		}
+		if r.Insts != sum {
+			t.Errorf("aggregate insts %d != per-program sum %d", r.Insts, sum)
+		}
+		// The record must reproduce a direct run of the same leg: wall
+		// cycles plus the per-program counters.
+		snap, err := harness.RunMP(group, harness.Params{Scale: testScale}, r.WithSlices, r.Warm, r.Run, harness.OracleOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Cycles != snap.Progs[0].Cycles {
+			t.Errorf("slices=%v: sweep %d cycles != direct %d", r.WithSlices, r.Cycles, snap.Progs[0].Cycles)
+		}
+		for i, p := range r.Programs {
+			ps := &snap.Progs[i]
+			if p.Insts != ps.MainRetired || p.Mispredicts != ps.Mispredicts || p.LoadMisses != ps.LoadMisses {
+				t.Errorf("slices=%v p%d: sweep (%d insts, %d misp) != direct (%d insts, %d misp)",
+					r.WithSlices, i, p.Insts, p.Mispredicts, ps.MainRetired, ps.Mispredicts)
+			}
+		}
+	}
+
+	// Unsupported legs and malformed groups are 400s, not queued work.
+	for _, body := range []string{
+		`{"coSchedules":[["vpr","mcf"]],"configs":[{"width":8}]}`,
+		`{"coSchedules":[["vpr","mcf"]],"configs":[{"bpred":"gshare:4096,10"}]}`,
+		`{"coSchedules":[["vpr"]]}`,
+		`{"coSchedules":[["vpr","no-such-workload"]]}`,
+	} {
+		resp, err := http.Post(hs.URL+"/v1/sweeps", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %s, want 400", body, resp.Status)
+		}
+	}
+}
+
 // TestSweepBadRequests: malformed submissions fail fast with 400 and a
 // terminal error record; nothing reaches the queue.
 func TestSweepBadRequests(t *testing.T) {
